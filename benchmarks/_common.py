@@ -1,0 +1,59 @@
+"""Shared configuration for the benchmark suite.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_DATASETS`` — comma-separated dataset subset (default: all 8);
+* ``REPRO_BENCH_QUERIES``  — queries per (dataset, size, type) cell (default 1);
+* ``REPRO_BENCH_SAMPLES``  — simulated samples per run (default 2048, see
+  ``repro.bench.harness``).
+
+Every bench prints the paper-style table and appends JSON to ``results/``.
+Timings are *simulated* milliseconds extrapolated to the paper's 10⁶-sample
+budget; see DESIGN.md for the hardware-substitution rationale.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import run_method
+from repro.bench.workloads import Workload, build_workload
+from repro.graph.datasets import DATASET_ORDER
+from repro.metrics.stats import geometric_mean, summarize
+
+
+def bench_datasets() -> List[str]:
+    raw = os.environ.get("REPRO_BENCH_DATASETS", "")
+    if raw.strip():
+        return [name.strip() for name in raw.split(",") if name.strip()]
+    return list(DATASET_ORDER)
+
+
+def queries_per_cell() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "1"))
+
+
+def cell_workloads(
+    dataset: str, k: int, query_types: Sequence[str] = ("dense", "sparse")
+) -> List[Workload]:
+    """All workloads of one (dataset, size) cell at the configured scale."""
+    workloads = []
+    for index in range(queries_per_cell()):
+        for qtype in query_types:
+            if k < 8 and qtype == "sparse":
+                continue
+            workloads.append(build_workload(dataset, k, qtype, index))
+    return workloads
+
+
+def mean_ms(workloads: Sequence[Workload], method: str) -> Dict[str, float]:
+    """Mean/std simulated ms of a method across workloads (a Table 2 cell)."""
+    times = [run_method(w, method).simulated_ms for w in workloads]
+    stats = summarize(times)
+    return {"mean": stats.mean, "std": stats.std}
+
+
+def speedup_summary(values: Sequence[float]) -> float:
+    """Average speedup across datasets: geometric mean of per-cell ratios."""
+    return geometric_mean(list(values))

@@ -1,0 +1,106 @@
+"""Extra ablations for the design choices DESIGN.md calls out (beyond the
+paper's Figure 12): the streaming threshold, the per-warp task-pool size,
+and CPU branching as the non-SIMT alternative to inheritance.
+
+Shapes expected:
+* streaming threshold: the paper's 32 (= warp size) is near the sweet spot
+  — very low thresholds stream workloads too small to amortise the
+  reduction primitives, very high ones leave stragglers serial;
+* tasks_per_warp: little effect past a modest pool (it only amortises warp
+  start-up in the simulation);
+* branching (CPU): more paths per root at lower cost per path, the same
+  work-sharing idea inheritance brings to SIMT (§4.1 Discussion).
+"""
+
+from __future__ import annotations
+
+from _common import bench_datasets
+
+from repro.bench.harness import TARGET_SAMPLES
+from repro.bench.reporting import render_series, save_results
+from repro.bench.workloads import build_workload
+from repro.core.config import EngineConfig
+from repro.core.engine import GSWORDEngine
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.branching import BranchingAlleyRunner
+from repro.utils.rng import derive_seed
+
+THRESHOLDS = (8, 16, 32, 64, 128)
+POOLS = (32, 64, 128, 256)
+BRANCH_FACTORS = (1, 2, 4, 8)
+SIM_SAMPLES = 2048
+
+
+def run_ablation():
+    # A refine-heavy workload where the knobs matter.
+    w = build_workload("eu2005", 16, "dense", 0)
+
+    threshold_ms = []
+    for threshold in THRESHOLDS:
+        cfg = EngineConfig.gsword(streaming_threshold=threshold)
+        result = GSWORDEngine(AlleyEstimator(), cfg).run(
+            w.cg, w.order, SIM_SAMPLES,
+            rng=derive_seed(w.seed, "abl-threshold", threshold),
+        )
+        threshold_ms.append(result.simulated_ms_at(TARGET_SAMPLES))
+
+    pool_ms = []
+    for pool in POOLS:
+        cfg = EngineConfig.gsword(tasks_per_warp=pool)
+        result = GSWORDEngine(AlleyEstimator(), cfg).run(
+            w.cg, w.order, SIM_SAMPLES,
+            rng=derive_seed(w.seed, "abl-pool", pool),
+        )
+        pool_ms.append(result.simulated_ms_at(TARGET_SAMPLES))
+
+    branch_rows = {"paths/root": [], "cycles/path": []}
+    for b in BRANCH_FACTORS:
+        runner = BranchingAlleyRunner(branching_factor=b)
+        result = runner.run(
+            w.cg, w.order, 200, rng=derive_seed(w.seed, "abl-branch", b)
+        )
+        branch_rows["paths/root"].append(result.paths_per_sample)
+        branch_rows["cycles/path"].append(
+            result.total_cycles / max(1, result.n_paths)
+        )
+
+    print()
+    print(render_series(
+        "Ablation A: warp-streaming threshold (gSWORD-AL, eu2005 q16)",
+        "threshold", list(THRESHOLDS), {"ms@1e6": threshold_ms},
+    ))
+    print(render_series(
+        "Ablation B: per-warp task pool size",
+        "tasks/warp", list(POOLS), {"ms@1e6": pool_ms},
+    ))
+    print(render_series(
+        "Ablation C: CPU branching factor (Alley)",
+        "b", list(BRANCH_FACTORS), branch_rows,
+    ))
+    payload = {
+        "threshold": dict(zip(THRESHOLDS, threshold_ms)),
+        "pool": dict(zip(POOLS, pool_ms)),
+        "branch_paths": dict(zip(BRANCH_FACTORS, branch_rows["paths/root"])),
+        "branch_cost": dict(zip(BRANCH_FACTORS, branch_rows["cycles/path"])),
+    }
+    save_results("ablation_design_choices", payload)
+    return payload
+
+
+def test_ablation(benchmark):
+    payload = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    thresholds = payload["threshold"]
+    # The warp-size threshold beats a much larger one (stragglers serial).
+    assert thresholds[32] <= thresholds[128] * 1.1
+    # Pool size has bounded impact (within 2x across the sweep).
+    pools = list(payload["pool"].values())
+    assert max(pools) < 2.0 * min(pools)
+    # Branching shares work: more paths per root, cheaper per path.
+    paths = payload["branch_paths"]
+    costs = payload["branch_cost"]
+    assert paths[8] > paths[1]
+    assert costs[8] < costs[1]
+
+
+if __name__ == "__main__":
+    run_ablation()

@@ -1,0 +1,89 @@
+"""Figure 1: q-error and CPU runtime of WanderJoin / Alley as the sample
+count grows — a converging panel and a collapsing panel.
+
+Paper shape: on eu2005 (8-vertex query) both estimators converge (Alley in
+fewer samples but more time per sample); on WordNet both stay badly
+underestimated no matter how many samples are drawn.
+
+Scale substitution: the scaled eu2005 analog's 8-vertex queries have
+embedding counts too large for exact Python enumeration, so the converging
+panel uses dblp (same shape, exact truth available); at our scale WordNet's
+collapse appears for 16-vertex queries, so the failing panel uses q16.
+See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_series, save_results
+from repro.bench.workloads import build_workload
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.cpu_runner import CPUSamplingRunner
+from repro.estimators.wanderjoin import WanderJoinEstimator
+from repro.metrics.qerror import q_error
+from repro.utils.rng import derive_seed
+
+CHECKPOINTS = [500, 1000, 2000, 4000, 8000, 16000]
+
+
+PANELS = (("dblp", 8), ("wordnet", 16))
+
+
+def run_fig1():
+    results = {}
+    for dataset, k in PANELS:
+        workload = build_workload(dataset, k, "dense", 0)
+        truth = workload.ground_truth()
+        series_q, series_ms = {}, {}
+        for estimator in (WanderJoinEstimator(), AlleyEstimator()):
+            runner = CPUSamplingRunner(estimator)
+            run = runner.run(
+                workload.cg, workload.order, CHECKPOINTS[-1],
+                rng=derive_seed(workload.seed, "fig1", estimator.name),
+                checkpoint_at=CHECKPOINTS,
+            )
+            series_q[estimator.name] = [
+                q_error(truth.count, run.checkpoints[n][0]) for n in CHECKPOINTS
+            ]
+            series_ms[estimator.name] = [
+                run.checkpoints[n][1] for n in CHECKPOINTS
+            ]
+        print()
+        print(render_series(
+            f"Figure 1 ({dataset}, q{k}): q-error vs samples"
+            + ("" if truth.complete else "  [truth truncated]"),
+            "samples", CHECKPOINTS, series_q,
+        ))
+        print(render_series(
+            f"Figure 1 ({dataset}, q{k}): simulated CPU ms vs samples",
+            "samples", CHECKPOINTS, series_ms,
+        ))
+        results[dataset] = {
+            "truth": truth.count, "qerror": series_q, "ms": series_ms,
+        }
+    save_results("fig01_motivation", results)
+    return results
+
+
+def test_fig1(benchmark):
+    results = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    # Converging panel: q-error improves as samples grow, ending small.
+    for name in ("WJ", "AL"):
+        series = results["dblp"]["qerror"][name]
+        assert series[-1] <= series[0] * 1.5
+        assert series[-1] < 5
+    # Collapsing panel: underestimation persists at the largest budget
+    # (a lucky late valid sample can soften one curve, not both).
+    assert min(
+        results["wordnet"]["qerror"]["WJ"][-1],
+        results["wordnet"]["qerror"]["AL"][-1],
+    ) > 10
+    assert max(
+        results["wordnet"]["qerror"]["WJ"][-1],
+        results["wordnet"]["qerror"]["AL"][-1],
+    ) > 100
+    # Alley costs more per sample than WanderJoin (its refinement).
+    assert results["dblp"]["ms"]["AL"][-1] > results["dblp"]["ms"]["WJ"][-1]
+
+
+if __name__ == "__main__":
+    run_fig1()

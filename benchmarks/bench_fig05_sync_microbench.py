@@ -1,0 +1,72 @@
+"""Figure 5 micro-benchmark: warp stall factors of sample vs iteration
+synchronisation (Alley), plus the §3.2 runtime comparison.
+
+Paper shape: iteration synchronisation has *fewer* StallWait cycles (better
+issue utilisation) but *more* StallLong cycles (scattered candidate-array
+accesses), and ends up ~1.3x slower overall.
+"""
+
+from __future__ import annotations
+
+from _common import bench_datasets, cell_workloads
+
+from repro.bench.harness import run_method
+from repro.bench.reporting import render_table, save_results
+from repro.metrics.stats import geometric_mean, summarize
+
+
+def run_fig5():
+    rows = []
+    payload = {}
+    slowdowns = []
+    for dataset in bench_datasets():
+        workloads = cell_workloads(dataset, 16)
+        cells = {}
+        for label, method in (
+            ("sample", "sample-sync-AL"),
+            ("iteration", "GPU-AL"),  # iteration sync = NextDoor baseline
+        ):
+            runs = [run_method(w, method) for w in workloads]
+            cells[label] = {
+                "ms": summarize([r.simulated_ms for r in runs]).mean,
+                "stall_long": summarize(
+                    [r.stall_long_per_iter for r in runs]
+                ).mean,
+                "stall_wait": summarize(
+                    [r.stall_wait_per_iter for r in runs]
+                ).mean,
+            }
+        slowdown = cells["iteration"]["ms"] / cells["sample"]["ms"]
+        slowdowns.append(slowdown)
+        rows.append([
+            dataset,
+            f"{cells['sample']['stall_long']:.0f}",
+            f"{cells['iteration']['stall_long']:.0f}",
+            f"{cells['sample']['stall_wait']:.0f}",
+            f"{cells['iteration']['stall_wait']:.0f}",
+            f"{slowdown:.2f}x",
+        ])
+        payload[dataset] = cells
+    print()
+    print(render_table(
+        ["Dataset", "StallLong(ss)", "StallLong(it)",
+         "StallWait(ss)", "StallWait(it)", "it/ss time"],
+        rows,
+        title="Figure 5: sample (ss) vs iteration (it) synchronisation, Alley",
+    ))
+    avg = geometric_mean(slowdowns)
+    print(f"\naverage iteration-sync slowdown: {avg:.2f}x (paper: 1.3x)")
+    save_results("fig05_sync_microbench", payload)
+    return payload, avg
+
+
+def test_fig5(benchmark):
+    payload, avg = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    assert avg > 1.0  # iteration sync is slower on average
+    for dataset, cells in payload.items():
+        assert cells["iteration"]["stall_long"] > cells["sample"]["stall_long"]
+        assert cells["iteration"]["stall_wait"] < cells["sample"]["stall_wait"]
+
+
+if __name__ == "__main__":
+    run_fig5()

@@ -1,0 +1,52 @@
+"""Figure 10: gSWORD speedup over the GPU baselines as the query size grows
+(4 -> 8 -> 16 vertices), per estimator.
+
+Paper shape: speedups grow with query size (more iterations, heavier
+imbalance), and Alley's grow faster than WanderJoin's.
+"""
+
+from __future__ import annotations
+
+from _common import bench_datasets, cell_workloads, speedup_summary
+
+from repro.bench.harness import run_method
+from repro.bench.reporting import render_series, save_results
+
+QUERY_SIZES = (4, 8, 16)
+
+
+def run_fig10():
+    series = {"WJ": [], "AL": []}
+    for k in QUERY_SIZES:
+        per_size = {"WJ": [], "AL": []}
+        for dataset in bench_datasets():
+            workloads = cell_workloads(dataset, k)
+            for suffix in ("WJ", "AL"):
+                for w in workloads:
+                    base = run_method(w, f"GPU-{suffix}")
+                    gsw = run_method(w, f"gSWORD-{suffix}")
+                    per_size[suffix].append(
+                        base.simulated_ms / gsw.simulated_ms
+                    )
+        for suffix in ("WJ", "AL"):
+            series[suffix].append(speedup_summary(per_size[suffix]))
+    print()
+    print(render_series(
+        "Figure 10: gSWORD speedup over GPU baselines vs query size "
+        "(geomean across datasets)",
+        "|Vq|", list(QUERY_SIZES), series,
+    ))
+    save_results("fig10_query_size", {"sizes": QUERY_SIZES, **series})
+    return series
+
+
+def test_fig10(benchmark):
+    series = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    for suffix in ("WJ", "AL"):
+        # Speedup present at the largest size and growing from 4 -> 16.
+        assert series[suffix][-1] > 1.0
+        assert series[suffix][-1] > series[suffix][0]
+
+
+if __name__ == "__main__":
+    run_fig10()

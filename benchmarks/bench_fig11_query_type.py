@@ -1,0 +1,49 @@
+"""Figure 11: gSWORD speedup over the GPU baselines for dense vs sparse
+queries (16 vertices).
+
+Paper shape: gSWORD wins on both query types — robustness of the framework
+to query structure.
+"""
+
+from __future__ import annotations
+
+from _common import bench_datasets, queries_per_cell, speedup_summary
+
+from repro.bench.harness import run_method
+from repro.bench.reporting import render_series, save_results
+from repro.bench.workloads import build_workload
+
+
+def run_fig11():
+    series = {"WJ": [], "AL": []}
+    types = ("dense", "sparse")
+    for qtype in types:
+        per_type = {"WJ": [], "AL": []}
+        for dataset in bench_datasets():
+            for index in range(queries_per_cell()):
+                w = build_workload(dataset, 16, qtype, index)
+                for suffix in ("WJ", "AL"):
+                    base = run_method(w, f"GPU-{suffix}")
+                    gsw = run_method(w, f"gSWORD-{suffix}")
+                    per_type[suffix].append(base.simulated_ms / gsw.simulated_ms)
+        for suffix in ("WJ", "AL"):
+            series[suffix].append(speedup_summary(per_type[suffix]))
+    print()
+    print(render_series(
+        "Figure 11: gSWORD speedup over GPU baselines by query type "
+        "(q16, geomean across datasets)",
+        "type", list(types), series,
+    ))
+    save_results("fig11_query_type", {"types": types, **series})
+    return series
+
+
+def test_fig11(benchmark):
+    series = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    for suffix in ("WJ", "AL"):
+        for value in series[suffix]:
+            assert value > 1.0  # gSWORD wins on both types
+
+
+if __name__ == "__main__":
+    run_fig11()

@@ -1,0 +1,77 @@
+"""Figure 13: q-error of the two RW estimators by query size (4, 8, 16).
+
+Paper shape: both accurate at size 4; Alley stays accurate through size 16
+(except WordNet) while WanderJoin degrades; WordNet exhibits severe
+underestimation for 16-vertex queries under both estimators.
+
+Cells whose exact ground truth could not be completed within the
+enumeration budget are skipped (reported as such).
+"""
+
+from __future__ import annotations
+
+from _common import bench_datasets, cell_workloads
+
+from repro.bench.harness import run_method
+from repro.bench.reporting import render_table, save_results
+from repro.metrics.qerror import q_error
+from repro.metrics.stats import geometric_mean
+
+QUERY_SIZES = (4, 8, 16)
+QERROR_SAMPLES = 8192
+
+
+def run_fig13():
+    payload = {}
+    rows = []
+    for dataset in bench_datasets():
+        row = [dataset]
+        for k in QUERY_SIZES:
+            cell = {}
+            for suffix in ("WJ", "AL"):
+                qerrors = []
+                for w in cell_workloads(dataset, k):
+                    truth = w.ground_truth()
+                    if not truth.complete:
+                        continue
+                    result = run_method(
+                        w, f"gSWORD-{suffix}", sim_samples=QERROR_SAMPLES
+                    )
+                    qerrors.append(q_error(truth.count, result.estimate))
+                cell[suffix] = geometric_mean(qerrors) if qerrors else None
+            payload[f"{dataset}/q{k}"] = cell
+            row.append(
+                "/".join(
+                    "n.a." if cell[s] is None else f"{cell[s]:.3g}"
+                    for s in ("WJ", "AL")
+                )
+            )
+        rows.append(row)
+    print()
+    print(render_table(
+        ["Dataset"] + [f"q{k} (WJ/AL)" for k in QUERY_SIZES],
+        rows,
+        title=f"Figure 13: geomean q-error by query size "
+              f"({QERROR_SAMPLES} samples)",
+    ))
+    save_results("fig13_qerror", payload)
+    return payload
+
+
+def test_fig13(benchmark):
+    payload = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    small = [c for key, c in payload.items() if key.endswith("/q4")]
+    # 4-vertex queries: accurate estimations across the board.
+    for cell in small:
+        for suffix in ("WJ", "AL"):
+            if cell[suffix] is not None:
+                assert cell[suffix] < 10
+    # WordNet q16: severe underestimation (when truth is available).
+    wordnet = payload.get("wordnet/q16", {})
+    for suffix in ("WJ", "AL"):
+        if wordnet.get(suffix) is not None:
+            assert wordnet[suffix] > 100
+
+
+if __name__ == "__main__":
+    run_fig13()

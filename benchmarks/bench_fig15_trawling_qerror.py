@@ -1,0 +1,75 @@
+"""Figure 15: q-error of the plain RW estimators vs trawling on WordNet
+16-vertex queries.
+
+Paper shape: trawling reduces the q-errors by orders of magnitude
+(5.7*10^5 on WJ / 1.7*10^5 on AL in the paper's absolute setting); some
+queries remain hard (max q-error after trawling ~10^4).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.reporting import render_table, save_results
+from repro.bench.workloads import build_workload
+from repro.core.pipeline import CoProcessingPipeline, PipelineConfig
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.cpu_runner import CPUSamplingRunner
+from repro.estimators.wanderjoin import WanderJoinEstimator
+from repro.metrics.qerror import q_error
+from repro.metrics.stats import geometric_mean
+from repro.utils.rng import derive_seed
+
+N_QUERIES = int(os.environ.get("REPRO_BENCH_FIG15_QUERIES", "4"))
+SAMPLES = 4096
+
+
+def run_fig15():
+    payload = {}
+    rows = []
+    for suffix, estimator_cls in (("WJ", WanderJoinEstimator), ("AL", AlleyEstimator)):
+        for index in range(N_QUERIES):
+            qtype = "dense" if index % 2 == 0 else "sparse"
+            w = build_workload("wordnet", 16, qtype, index // 2)
+            truth = w.ground_truth()
+            if not truth.complete:
+                continue
+            seed = derive_seed(w.seed, "fig15", suffix)
+            plain = CPUSamplingRunner(estimator_cls()).run(
+                w.cg, w.order, SAMPLES, rng=seed
+            )
+            pipeline = CoProcessingPipeline(
+                estimator_cls(),
+                PipelineConfig(n_batches=6, trawls_per_batch=64),
+            ).run(w.cg, w.order, SAMPLES, rng=seed)
+            q_plain = q_error(truth.count, plain.estimate)
+            q_trawl = q_error(truth.count, pipeline.final_estimate)
+            key = f"{suffix}/{w.query.name}"
+            payload[key] = {"plain": q_plain, "trawling": q_trawl}
+            rows.append([suffix, w.query.name, f"{q_plain:.3g}", f"{q_trawl:.3g}"])
+    print()
+    print(render_table(
+        ["Estimator", "Query", "q-error (plain)", "q-error (trawling)"],
+        rows,
+        title="Figure 15: RW estimators vs trawling, WordNet q16",
+    ))
+    if payload:
+        reduction = geometric_mean(
+            [max(1.0, c["plain"] / c["trawling"]) for c in payload.values()]
+        )
+        print(f"\ngeomean q-error reduction: {reduction:.3g}x "
+              "(paper: ~10^5x in absolute scale)")
+    save_results("fig15_trawling_qerror", payload)
+    return payload
+
+
+def test_fig15(benchmark):
+    payload = benchmark.pedantic(run_fig15, rounds=1, iterations=1)
+    assert payload, "no complete ground truths for wordnet q16"
+    plain = geometric_mean([c["plain"] for c in payload.values()])
+    trawl = geometric_mean([c["trawling"] for c in payload.values()])
+    assert trawl < plain  # trawling improves in aggregate
+
+
+if __name__ == "__main__":
+    run_fig15()

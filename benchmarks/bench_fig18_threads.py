@@ -1,0 +1,91 @@
+"""Figure 18: q-error and runtime of co-processing as the number of CPU
+enumeration threads varies (1 -> 12).
+
+Paper shape: more threads complete more enumeration tasks inside the fixed
+GPU window, improving accuracy without extending the overall runtime.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.reporting import render_series, save_results
+from repro.bench.workloads import build_workload
+from repro.core.pipeline import CoProcessingPipeline, PipelineConfig
+from repro.estimators.alley import AlleyEstimator
+from repro.metrics.qerror import q_error
+
+THREAD_COUNTS = (1, 2, 4, 8, 12)
+N_QUERIES = int(os.environ.get("REPRO_BENCH_FIG18_QUERIES", "4"))
+SAMPLES = 4096
+#: Enumeration throughput tuned so one worker's per-batch window fits about
+#: one value-carrying (hub-prefix) enumeration task: the estimate mass
+#: concentrates in those tasks, so completing more of them per window is
+#: what extra threads buy — the paper's Fig. 18 mechanism.
+NODES_PER_MS = 72000.0
+TRAWLS_PER_BATCH = 384
+
+
+def run_fig18():
+    qerror_series, runtime_series, completed_series = {}, {}, {}
+    for index in range(N_QUERIES):
+        qtype = "dense" if index % 2 == 0 else "sparse"
+        w = build_workload("wordnet", 16, qtype, index // 2)
+        truth = w.ground_truth()
+        if not truth.complete:
+            continue
+        name = f"q{index + 1}"
+        qerrors, runtimes, completed = [], [], []
+        for threads in THREAD_COUNTS:
+            pipeline = CoProcessingPipeline(
+                AlleyEstimator(),
+                PipelineConfig(
+                    n_batches=6,
+                    trawls_per_batch=TRAWLS_PER_BATCH,
+                    cpu_threads=threads,
+                    enum_nodes_per_ms=NODES_PER_MS,
+                ),
+            ).run(w.cg, w.order, SAMPLES, rng=w.seed)
+            qerrors.append(q_error(truth.count, pipeline.final_estimate))
+            runtimes.append(pipeline.total_pipeline_ms)
+            completed.append(pipeline.n_enumerated)
+        qerror_series[name] = qerrors
+        runtime_series[name] = runtimes
+        completed_series[name] = completed
+    print()
+    print(render_series(
+        "Figure 18a: q-error vs CPU threads (WordNet q16)",
+        "threads", list(THREAD_COUNTS), qerror_series,
+    ))
+    print(render_series(
+        "Figure 18b: pipeline runtime (simulated ms) vs CPU threads",
+        "threads", list(THREAD_COUNTS), runtime_series,
+    ))
+    print(render_series(
+        "Figure 18c: completed enumerations vs CPU threads",
+        "threads", list(THREAD_COUNTS), completed_series,
+    ))
+    save_results("fig18_threads", {
+        "threads": THREAD_COUNTS,
+        "qerror": qerror_series,
+        "runtime": runtime_series,
+        "completed": completed_series,
+    })
+    return qerror_series, runtime_series, completed_series
+
+
+def test_fig18(benchmark):
+    qerror_series, runtime_series, completed_series = benchmark.pedantic(
+        run_fig18, rounds=1, iterations=1
+    )
+    assert completed_series, "no wordnet q16 ground truth available"
+    for completed in completed_series.values():
+        # More threads never complete fewer enumerations.
+        assert completed[-1] >= completed[0]
+    for runtimes in runtime_series.values():
+        # Extra CPU threads do not extend the (GPU-bound) runtime.
+        assert max(runtimes) < 1.5 * min(runtimes)
+
+
+if __name__ == "__main__":
+    run_fig18()

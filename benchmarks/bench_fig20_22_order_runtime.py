@@ -1,0 +1,71 @@
+"""Appendix Figures 20-22: gSWORD runtime with G-CARE's vs QuickSI's
+matching order, by query size.
+
+Paper shape: the two orders yield comparable runtimes (QuickSI ~7% faster
+on 16-vertex queries on average).
+"""
+
+from __future__ import annotations
+
+from _common import bench_datasets, cell_workloads
+
+from repro.bench.harness import TARGET_SAMPLES
+from repro.bench.reporting import render_table, save_results
+from repro.core.config import EngineConfig
+from repro.core.engine import GSWORDEngine
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.wanderjoin import WanderJoinEstimator
+from repro.metrics.stats import geometric_mean, summarize
+from repro.utils.rng import derive_seed
+
+QUERY_SIZES = (4, 8, 16)
+SIM_SAMPLES = 2048
+
+
+def _run_with_order(workload, estimator, order):
+    engine = GSWORDEngine(estimator, EngineConfig.gsword())
+    seed = derive_seed(workload.seed, "order-study", order.method)
+    result = engine.run(workload.cg, order, SIM_SAMPLES, rng=seed)
+    return result.simulated_ms_at(TARGET_SAMPLES)
+
+
+def run_fig20_22():
+    payload = {}
+    rows = []
+    for k in QUERY_SIZES:
+        for suffix, estimator_cls in (
+            ("WJ", WanderJoinEstimator), ("AL", AlleyEstimator)
+        ):
+            quicksi_ms, gcare_ms = [], []
+            for dataset in bench_datasets():
+                for w in cell_workloads(dataset, k):
+                    quicksi_ms.append(
+                        _run_with_order(w, estimator_cls(), w.order)
+                    )
+                    gcare_ms.append(
+                        _run_with_order(w, estimator_cls(), w.gcare_order())
+                    )
+            q_mean = summarize(quicksi_ms).mean
+            g_mean = summarize(gcare_ms).mean
+            payload[f"q{k}/{suffix}"] = {"quicksi": q_mean, "gcare": g_mean}
+            rows.append([f"q{k}", suffix, f"{q_mean:.3f}", f"{g_mean:.3f}",
+                         f"{g_mean / q_mean:.2f}x"])
+    print()
+    print(render_table(
+        ["Size", "Estimator", "QuickSI ms", "G-CARE ms", "G-CARE/QuickSI"],
+        rows,
+        title="Figures 20-22: gSWORD runtime by matching order",
+    ))
+    save_results("fig20_22_order_runtime", payload)
+    return payload
+
+
+def test_fig20_22(benchmark):
+    payload = benchmark.pedantic(run_fig20_22, rounds=1, iterations=1)
+    ratios = [c["gcare"] / c["quicksi"] for c in payload.values()]
+    # Comparable performance: within ~2.5x either way in geomean.
+    assert 0.4 < geometric_mean(ratios) < 2.5
+
+
+if __name__ == "__main__":
+    run_fig20_22()

@@ -1,0 +1,74 @@
+"""Appendix Figures 23-25: q-error with G-CARE's vs QuickSI's matching
+order, by query size.
+
+Paper shape: both orders yield comparable accuracy; G-CARE's marginally
+better for small queries, QuickSI's safer for large ones.
+"""
+
+from __future__ import annotations
+
+from _common import bench_datasets, cell_workloads
+
+from repro.bench.reporting import render_table, save_results
+from repro.core.config import EngineConfig
+from repro.core.engine import GSWORDEngine
+from repro.estimators.alley import AlleyEstimator
+from repro.metrics.qerror import q_error
+from repro.metrics.stats import geometric_mean
+from repro.utils.rng import derive_seed
+
+QUERY_SIZES = (4, 8, 16)
+SIM_SAMPLES = 8192
+
+
+def _estimate_with_order(workload, order):
+    engine = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword())
+    seed = derive_seed(workload.seed, "order-qerror", order.method)
+    return engine.run(workload.cg, order, SIM_SAMPLES, rng=seed).estimate
+
+
+def run_fig23_25():
+    payload = {}
+    rows = []
+    for k in QUERY_SIZES:
+        quicksi_q, gcare_q = [], []
+        for dataset in bench_datasets():
+            for w in cell_workloads(dataset, k):
+                truth = w.ground_truth()
+                if not truth.complete:
+                    continue
+                quicksi_q.append(
+                    q_error(truth.count, _estimate_with_order(w, w.order))
+                )
+                gcare_q.append(
+                    q_error(truth.count, _estimate_with_order(w, w.gcare_order()))
+                )
+        if not quicksi_q:
+            continue
+        cell = {
+            "quicksi": geometric_mean(quicksi_q),
+            "gcare": geometric_mean(gcare_q),
+        }
+        payload[f"q{k}"] = cell
+        rows.append([f"q{k}", f"{cell['quicksi']:.3g}", f"{cell['gcare']:.3g}"])
+    print()
+    print(render_table(
+        ["Size", "QuickSI q-error", "G-CARE q-error"],
+        rows,
+        title="Figures 23-25: geomean q-error by matching order (Alley)",
+    ))
+    save_results("fig23_25_order_qerror", payload)
+    return payload
+
+
+def test_fig23_25(benchmark):
+    payload = benchmark.pedantic(run_fig23_25, rounds=1, iterations=1)
+    assert payload
+    for cell in payload.values():
+        # Comparable accuracy: same order of magnitude.
+        ratio = cell["gcare"] / cell["quicksi"]
+        assert 0.01 < ratio < 100
+
+
+if __name__ == "__main__":
+    run_fig23_25()

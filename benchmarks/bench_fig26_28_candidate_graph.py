@@ -1,0 +1,99 @@
+"""Appendix Figures 26-28: gSWORD runtime with vs without the candidate
+graph, by query size.
+
+"Without" means sampling directly on the data graph: candidate sets are all
+label matches (no degree/consistency pruning), so every refine scan walks
+raw label-adjacency — but no construction or transfer cost is paid.  "With"
+samples on the pruned (NLF + consistency) candidate graph and adds its
+*simulated* construction cost plus the simulated PCIe transfer.
+
+Paper shape: the candidate graph wins everywhere despite its preparation
+costs, and the gap widens on larger graphs.
+"""
+
+from __future__ import annotations
+
+from _common import bench_datasets, queries_per_cell
+
+from repro.bench.harness import TARGET_SAMPLES
+from repro.bench.reporting import render_table, save_results
+from repro.bench.workloads import build_workload
+from repro.core.config import EngineConfig
+from repro.core.engine import GSWORDEngine
+from repro.estimators.alley import AlleyEstimator
+from repro.metrics.stats import geometric_mean, summarize
+from repro.utils.rng import derive_seed
+
+QUERY_SIZES = (4, 8, 16)
+SIM_SAMPLES = 1024
+
+#: Direct-on-data-graph view: raw adjacency, labels checked on the fly.
+DIRECT_FILTER = {
+    "use_nlf": False, "refine_passes": 0,
+    "use_degree": False, "use_label": False,
+}
+#: Pruned candidate graph (the appendix's "with candidate graph" variant).
+PRUNED_FILTER = {"use_nlf": True, "refine_passes": 2}
+
+
+def _sampling_ms(workload, cg, token):
+    engine = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword())
+    seed = derive_seed(workload.seed, "cg-study", token)
+    result = engine.run(cg, workload.order, SIM_SAMPLES, rng=seed)
+    return result.simulated_ms_at(TARGET_SAMPLES)
+
+
+def run_fig26_28():
+    payload = {}
+    rows = []
+    for k in QUERY_SIZES:
+        for dataset in bench_datasets():
+            with_cg, without_cg = [], []
+            for index in range(queries_per_cell()):
+                pruned = build_workload(
+                    dataset, k, "dense", index, filter_kwargs=PRUNED_FILTER
+                )
+                direct = build_workload(
+                    dataset, k, "dense", index, filter_kwargs=DIRECT_FILTER
+                )
+                prep_ms = (
+                    pruned.cg.simulated_construction_ms()
+                    + pruned.cg.transfer_ms()
+                )
+                with_cg.append(
+                    prep_ms + _sampling_ms(pruned, pruned.cg, "with")
+                )
+                without_cg.append(_sampling_ms(direct, direct.cg, "without"))
+            cell = {
+                "with": summarize(with_cg).mean,
+                "without": summarize(without_cg).mean,
+            }
+            payload[f"{dataset}/q{k}"] = cell
+            rows.append([
+                f"q{k}", dataset,
+                f"{cell['with']:.3f}", f"{cell['without']:.3f}",
+                f"{cell['without'] / cell['with']:.2f}x",
+            ])
+    print()
+    print(render_table(
+        ["Size", "Dataset", "with cg (incl. prep)", "without cg", "gain"],
+        rows,
+        title="Figures 26-28: runtime with vs without candidate graph "
+              "(Alley, simulated ms)",
+    ))
+    gains = [c["without"] / c["with"] for c in payload.values()]
+    print(f"\ngeomean candidate-graph gain: {geometric_mean(gains):.2f}x "
+          "(paper: 34x for Alley)")
+    save_results("fig26_28_candidate_graph", payload)
+    return payload
+
+
+def test_fig26_28(benchmark):
+    payload = benchmark.pedantic(run_fig26_28, rounds=1, iterations=1)
+    gains = [c["without"] / c["with"] for c in payload.values()]
+    # Candidate graphs win in aggregate despite preparation costs.
+    assert geometric_mean(gains) > 1.0
+
+
+if __name__ == "__main__":
+    run_fig26_28()

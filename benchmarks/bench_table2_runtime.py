@@ -1,0 +1,66 @@
+"""Table 2: average running time (simulated ms) per query, six methods x
+eight datasets, 16-vertex queries, extrapolated to 10^6 samples.
+
+Paper shape to reproduce: CPU-AL > CPU-WJ >> GPU-AL > GPU-WJ > gSWORD-AL >
+gSWORD-WJ on every dataset; gSWORD ~341x over CPU and ~9x over the GPU
+baselines on average (factors compress at our reduced graph scale).
+"""
+
+from __future__ import annotations
+
+from _common import bench_datasets, cell_workloads, mean_ms, speedup_summary
+
+from repro.bench.harness import METHOD_NAMES
+from repro.bench.reporting import render_table, save_results
+
+
+def run_table2():
+    datasets = bench_datasets()
+    cells = {}
+    for dataset in datasets:
+        workloads = cell_workloads(dataset, 16)
+        for method in METHOD_NAMES:
+            cells[(method, dataset)] = mean_ms(workloads, method)
+
+    rows = []
+    for method in METHOD_NAMES:
+        row = [method]
+        for dataset in datasets:
+            cell = cells[(method, dataset)]
+            row.append(f"{cell['mean']:.3f}±{cell['std']:.3f}")
+        rows.append(row)
+    print()
+    print(render_table(
+        ["Method"] + datasets, rows,
+        title="Table 2: avg simulated runtime (ms) per query, 10^6 samples",
+    ))
+
+    cpu_speedups, gpu_speedups = [], []
+    for suffix in ("WJ", "AL"):
+        for dataset in datasets:
+            gsword = cells[(f"gSWORD-{suffix}", dataset)]["mean"]
+            cpu_speedups.append(cells[(f"CPU-{suffix}", dataset)]["mean"] / gsword)
+            gpu_speedups.append(cells[(f"GPU-{suffix}", dataset)]["mean"] / gsword)
+    print(f"\ngSWORD speedup over CPU baselines (geomean): "
+          f"{speedup_summary(cpu_speedups):.1f}x (paper: 341x)")
+    print(f"gSWORD speedup over GPU baselines (geomean): "
+          f"{speedup_summary(gpu_speedups):.1f}x (paper: 9x)")
+
+    save_results("table2_runtime", {
+        f"{m}/{d}": cells[(m, d)] for m in METHOD_NAMES for d in datasets
+    })
+    return cells
+
+
+def test_table2(benchmark):
+    cells = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    for dataset in bench_datasets():
+        # The paper's ordering must hold per dataset.
+        assert cells[("CPU-WJ", dataset)]["mean"] > cells[("GPU-WJ", dataset)]["mean"]
+        assert cells[("CPU-AL", dataset)]["mean"] > cells[("GPU-AL", dataset)]["mean"]
+        assert cells[("GPU-WJ", dataset)]["mean"] > cells[("gSWORD-WJ", dataset)]["mean"]
+        assert cells[("GPU-AL", dataset)]["mean"] > cells[("gSWORD-AL", dataset)]["mean"]
+
+
+if __name__ == "__main__":
+    run_table2()

@@ -1,0 +1,66 @@
+"""Table 3: candidate graph construction and (simulated) CPU->GPU transfer
+costs by query size.
+
+Paper shape: both costs are small (sub-second even on their largest
+graphs); construction grows with graph size, transfer with the candidate
+graph footprint.
+"""
+
+from __future__ import annotations
+
+from _common import bench_datasets, cell_workloads
+
+from repro.bench.reporting import render_table, save_results
+from repro.metrics.stats import summarize
+
+QUERY_SIZES = (4, 8, 16)
+
+
+def run_table3():
+    payload = {}
+    rows = []
+    for dataset in bench_datasets():
+        row = [dataset]
+        cell = {}
+        for metric in ("construction", "transfer"):
+            for k in QUERY_SIZES:
+                workloads = cell_workloads(dataset, k)
+                if metric == "construction":
+                    values = [w.cg.construction_ms for w in workloads]
+                else:
+                    values = [w.cg.transfer_ms() for w in workloads]
+                mean = summarize(values).mean
+                cell[f"{metric}/q{k}"] = mean
+                row.append(f"{mean:.2f}")
+        payload[dataset] = cell
+        rows.append(row)
+    headers = (
+        ["Dataset"]
+        + [f"build q{k}" for k in QUERY_SIZES]
+        + [f"xfer q{k}" for k in QUERY_SIZES]
+    )
+    print()
+    print(render_table(
+        headers, rows,
+        title="Table 3: candidate graph construction / transfer (ms)",
+    ))
+    save_results("table3_candidate_cost", payload)
+    return payload
+
+
+def test_table3(benchmark):
+    payload = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    for dataset, cell in payload.items():
+        for k in QUERY_SIZES:
+            assert cell[f"construction/q{k}"] >= 0
+            assert cell[f"transfer/q{k}"] > 0
+    # Largest graph costs more to build than the smallest (paper shape).
+    if "uk2002" in payload and "yeast" in payload:
+        assert (
+            payload["uk2002"]["construction/q16"]
+            > payload["yeast"]["construction/q16"]
+        )
+
+
+if __name__ == "__main__":
+    run_table3()

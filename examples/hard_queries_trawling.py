@@ -1,0 +1,67 @@
+"""Rescuing hopeless queries with trawling + CPU-GPU co-processing (§5).
+
+On graphs like WordNet, 16-vertex queries have large true counts but a
+valid-sample probability so low that RW estimators return (near-)zero —
+the underestimation pathology of the paper's Figures 13-15.  This example
+shows pure sampling collapsing and the co-processing pipeline recovering
+orders of magnitude of accuracy by enumerating trawled sample prefixes on
+the CPU while the GPU keeps sampling.
+
+Run:  python examples/hard_queries_trawling.py
+"""
+
+from repro.bench.workloads import build_workload
+from repro.core.pipeline import CoProcessingPipeline, PipelineConfig
+from repro.core.trawling import trawl_depth_distribution
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.cpu_runner import CPUSamplingRunner
+from repro.metrics.qerror import q_error
+
+
+def main() -> None:
+    workload = build_workload("wordnet", 16, "dense", 0)
+    truth = workload.ground_truth()
+    print(f"dataset: {workload.graph}")
+    print(f"query:   {workload.query}")
+    print(f"truth:   {truth.count:,} embeddings\n")
+
+    # --- Pure sampling: millions of samples, still (nearly) nothing. ----
+    sampling = CPUSamplingRunner(AlleyEstimator()).run(
+        workload.cg, workload.order, 8000, rng=2
+    )
+    print("pure Alley sampling (8000 samples):")
+    print(f"  estimate     {sampling.estimate:,.1f}")
+    print(f"  valid        {sampling.n_valid} of {sampling.n_samples}")
+    print(f"  q-error      {q_error(truth.count, sampling.estimate):,.1f}\n")
+
+    # --- Trawling depth distribution (Alg. 4's Select). -----------------
+    dist = trawl_depth_distribution(workload.query.n_vertices)
+    pretty = ", ".join(f"d={d}: {p:.3f}" for d, p in sorted(dist.items())[:4])
+    print(f"trawl depth distribution (geometric): {pretty}, ...\n")
+
+    # --- Co-processing: GPU sampling + CPU trawling, overlapped. --------
+    pipeline = CoProcessingPipeline(
+        AlleyEstimator(),
+        PipelineConfig(
+            n_batches=6,
+            trawls_per_batch=256,
+            # Let each virtual worker's window fit the heavy hub-prefix
+            # enumerations that carry the count mass on this graph.
+            enum_nodes_per_ms=2.5e6,
+        ),
+    )
+    result = pipeline.run(workload.cg, workload.order, 8192, rng=1)
+    print("CPU-GPU co-processing (6 batches, 256 trawls each):")
+    print(f"  sampling estimate  {result.sampling_estimate:,.1f}")
+    print(f"  trawling estimate  {result.trawling_estimate:,.1f} "
+          f"({result.n_enumerated} enumerations completed)")
+    print(f"  final estimate     {result.final_estimate:,.1f}")
+    print(f"  q-error            {q_error(truth.count, result.final_estimate):,.1f}")
+    print(f"  GPU time           {result.total_gpu_ms:.3f} ms (simulated)")
+    print(f"  CPU time           {result.total_cpu_ms:.3f} ms (hidden behind GPU)")
+    print(f"  pipeline total     {result.total_pipeline_ms:.3f} ms — "
+          "co-processing is (nearly) free")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim for offline editable installs.
+
+The sandbox has setuptools 65 without the ``wheel`` package, so PEP 660
+editable installs fail; ``pip install -e . --no-build-isolation
+--no-use-pep517`` uses this shim instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

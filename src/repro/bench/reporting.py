@@ -1,0 +1,88 @@
+"""Plain-text rendering of paper-style tables and figure series.
+
+Benches print their rows in the same layout as the paper's tables/figures
+and append machine-readable JSON to ``results/`` so EXPERIMENTS.md can be
+regenerated from artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: Where benches drop their JSON artifacts (created on demand).
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    1  2.5
+    """
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * max(len(title), sum(widths) + 2 * len(widths)))
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)).rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * widths[c] for c in range(len(widths))))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Dict[str, Sequence[Number]],
+) -> str:
+    """A figure as a small table: one x column plus one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(headers, rows, title=title)
+
+
+def save_results(name: str, payload: object) -> Optional[Path]:
+    """Persist a bench's machine-readable output under ``results/``.
+
+    Returns the written path, or ``None`` when the directory cannot be
+    created (read-only environments) — saving is best-effort and never
+    fails a bench.
+    """
+    try:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        return path
+    except OSError:
+        return None
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,153 @@
+"""Workload registry for the paper's experiments.
+
+A *workload* is one (dataset, query) cell: the analog data graph, an
+extracted query of the requested size/type, its QuickSI matching order, a
+candidate graph, and (lazily) the exact ground-truth embedding count.
+
+Two candidate-graph filter settings are used:
+
+* ``LIGHT_FILTER`` — label/degree filter only, as G-CARE-style baselines
+  build them.  This is what the estimators sample on: it preserves the
+  paper's regime of large, skewed candidate sets (and the resulting low
+  valid-sample ratios for 16-vertex queries, Fig. 14).
+* ``TIGHT_FILTER`` — NLF + consistency sweeps; used only to compute exact
+  ground truth faster.  The filters are sound, so the count is identical.
+
+Everything is derived deterministically from ``(dataset, k, query_type,
+index)`` plus a fixed root seed, so every bench regenerates the same cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.candidate.candidate_graph import CandidateGraph, build_candidate_graph
+from repro.enumeration.backtracking import EnumerationResult, count_embeddings
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASET_ORDER, load_dataset
+from repro.query.extract import extract_query
+from repro.query.matching_order import MatchingOrder, gcare_order, quicksi_order
+from repro.query.query_graph import QueryGraph
+from repro.utils.rng import derive_seed
+
+#: Candidate-graph builder kwargs for the two filter settings.
+LIGHT_FILTER = {"use_nlf": False, "refine_passes": 0}
+TIGHT_FILTER = {"use_nlf": True, "refine_passes": 2}
+
+#: Root seed all workloads derive from; changing it regenerates every cell.
+WORKLOAD_ROOT_SEED = 20240610
+
+#: Ground-truth budget (search-tree nodes / wall seconds).
+TRUTH_MAX_NODES = 30_000_000
+TRUTH_DEADLINE_S = 45.0
+
+
+@dataclass
+class Workload:
+    """One (dataset, query) experiment cell."""
+
+    dataset: str
+    graph: CSRGraph
+    query: QueryGraph
+    order: MatchingOrder
+    cg: CandidateGraph
+    seed: int
+    _tight_cg: Optional[CandidateGraph] = field(default=None, repr=False)
+    _truth: Optional[EnumerationResult] = field(default=None, repr=False)
+
+    @property
+    def k(self) -> int:
+        return self.query.n_vertices
+
+    @property
+    def query_type(self) -> str:
+        return self.query.query_type
+
+    @property
+    def tight_cg(self) -> CandidateGraph:
+        if self._tight_cg is None:
+            self._tight_cg = build_candidate_graph(
+                self.graph, self.query, **TIGHT_FILTER
+            )
+        return self._tight_cg
+
+    def ground_truth(
+        self,
+        max_nodes: int = TRUTH_MAX_NODES,
+        deadline_s: float = TRUTH_DEADLINE_S,
+    ) -> EnumerationResult:
+        """Exact embedding count (cached).  ``complete=False`` marks a
+        budget-truncated lower bound — q-error consumers should skip those
+        cells or treat the count as a floor."""
+        if self._truth is None or (
+            not self._truth.complete and max_nodes > TRUTH_MAX_NODES
+        ):
+            order = quicksi_order(self.query, self.graph)
+            self._truth = count_embeddings(
+                self.tight_cg, order, max_nodes=max_nodes, deadline_s=deadline_s
+            )
+        return self._truth
+
+    def gcare_order(self) -> MatchingOrder:
+        return gcare_order(self.query, self.graph)
+
+
+_CACHE: Dict[Tuple[str, int, str, int], Workload] = {}
+
+
+def build_workload(
+    dataset: str,
+    k: int,
+    query_type: str = "dense",
+    index: int = 0,
+    filter_kwargs: Optional[dict] = None,
+) -> Workload:
+    """Build (and cache) the ``index``-th query workload of a cell.
+
+    Queries are extracted from the analog graph by random walks (§6.1) with
+    a seed derived from the cell coordinates, so workload ``(eu2005, 16,
+    "dense", 2)`` is the same graph/query in every bench and test run.
+    """
+    key = (dataset, k, query_type, index)
+    if filter_kwargs is None:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
+    graph = load_dataset(dataset)
+    seed = derive_seed(WORKLOAD_ROOT_SEED, dataset, k, query_type, index)
+    query = extract_query(
+        graph, k, rng=seed, query_type=query_type,
+        name=f"{dataset}-q{k}-{query_type}-{index}",
+    )
+    cg = build_candidate_graph(graph, query, **(filter_kwargs or LIGHT_FILTER))
+    order = quicksi_order(query, graph)
+    workload = Workload(
+        dataset=dataset, graph=graph, query=query, order=order, cg=cg, seed=seed
+    )
+    if filter_kwargs is None:
+        _CACHE[key] = workload
+    return workload
+
+
+def default_workloads(
+    datasets: Optional[Sequence[str]] = None,
+    k: int = 16,
+    per_dataset: int = 2,
+    query_types: Sequence[str] = ("dense", "sparse"),
+) -> List[Workload]:
+    """The standard bench workload grid.
+
+    The paper uses 20 queries per (dataset, size); benches scale this down
+    via ``per_dataset`` (each unit yields one query per type) so a full
+    table regenerates in minutes rather than hours.
+    """
+    names = list(datasets) if datasets is not None else list(DATASET_ORDER)
+    workloads: List[Workload] = []
+    for name in names:
+        for index in range(per_dataset):
+            for qtype in query_types:
+                if k < 8 and qtype == "sparse":
+                    continue  # §6.1: 4-vertex queries are not split by type
+                workloads.append(build_workload(name, k, qtype, index))
+    return workloads

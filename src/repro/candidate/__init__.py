@@ -1,0 +1,16 @@
+"""Candidate graph substrate: filters and the triple-CSR format of Fig. 4."""
+
+from repro.candidate.candidate_graph import CandidateGraph, build_candidate_graph
+from repro.candidate.filters import (
+    label_degree_filter,
+    nlf_filter,
+    refine_global_candidates,
+)
+
+__all__ = [
+    "CandidateGraph",
+    "build_candidate_graph",
+    "label_degree_filter",
+    "nlf_filter",
+    "refine_global_candidates",
+]

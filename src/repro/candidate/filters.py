@@ -1,0 +1,118 @@
+"""Global candidate-set filters (Definition 4).
+
+Candidate graphs start from per-query-vertex global candidate sets.  We
+implement the standard filter stack used by CPU subgraph-matching systems
+(and by G-CARE / the paper's candidate-graph preparation):
+
+1. label + degree filter (``C(u) = {v : L(v)=L(u), deg(v) >= deg(u)}``),
+2. the NLF (neighbourhood label frequency) filter, and
+3. iterative edge-consistency refinement: drop ``v`` from ``C(u)`` when some
+   query edge ``(u, u')`` leaves ``v`` with no neighbour in ``C(u')``.
+
+All three are *sound*: they never remove a vertex that participates in an
+embedding, which the property tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.query.query_graph import QueryGraph
+
+
+def label_degree_filter(
+    graph: CSRGraph,
+    query: QueryGraph,
+    use_degree: bool = True,
+    use_label: bool = True,
+) -> List[np.ndarray]:
+    """Per-query-vertex candidates by label equality and degree dominance.
+
+    ``use_degree=False`` skips the degree filter; ``use_label=False`` skips
+    even the label filter, yielding raw-adjacency candidate sets — the view
+    of sampling *directly on the data graph* (appendix Figs. 26-28), where
+    labels must be checked on the fly by the estimator instead.
+    """
+    degrees = graph.degrees
+    candidates: List[np.ndarray] = []
+    for u in range(query.n_vertices):
+        if use_label:
+            pool = graph.vertices_with_label(query.label(u))
+        else:
+            pool = np.arange(graph.n_vertices, dtype=np.int64)
+        if len(pool) == 0:
+            candidates.append(np.zeros(0, dtype=np.int64))
+            continue
+        if use_degree:
+            pool = pool[degrees[pool] >= query.degree(u)]
+        candidates.append(np.sort(pool).astype(np.int64))
+    return candidates
+
+
+def nlf_filter(
+    graph: CSRGraph, query: QueryGraph, candidates: List[np.ndarray]
+) -> List[np.ndarray]:
+    """Neighbourhood-label-frequency filter.
+
+    ``v`` survives in ``C(u)`` only if, for every label ``l`` appearing among
+    ``u``'s query neighbours, ``v`` has at least as many data neighbours with
+    label ``l``.
+    """
+    refined: List[np.ndarray] = []
+    for u in range(query.n_vertices):
+        required = Counter(query.label(w) for w in query.neighbors(u))
+        if not required:
+            refined.append(candidates[u].copy())
+            continue
+        min_length = max(required) + 1
+        survivors = []
+        for v in candidates[u]:
+            nbr_labels = graph.labels[graph.neighbors_of(int(v))]
+            counts = np.bincount(nbr_labels, minlength=min_length)
+            if all(counts[l] >= c for l, c in required.items()):
+                survivors.append(int(v))
+        refined.append(np.asarray(survivors, dtype=np.int64))
+    return refined
+
+
+def refine_global_candidates(
+    graph: CSRGraph,
+    query: QueryGraph,
+    candidates: List[np.ndarray],
+    passes: int = 2,
+) -> List[np.ndarray]:
+    """Iterative edge-consistency pruning (semi-join reduction).
+
+    Repeats up to ``passes`` sweeps or until a fixpoint: for every query edge
+    ``(u, u')``, a candidate ``v`` of ``u`` must have at least one data
+    neighbour inside ``C(u')``.
+    """
+    n_data = graph.n_vertices
+    current = [c.copy() for c in candidates]
+    for _ in range(max(0, passes)):
+        changed = False
+        masks: Dict[int, np.ndarray] = {}
+        for u in range(query.n_vertices):
+            mask = np.zeros(n_data, dtype=bool)
+            mask[current[u]] = True
+            masks[u] = mask
+        for u in range(query.n_vertices):
+            if len(current[u]) == 0:
+                continue
+            keep = np.ones(len(current[u]), dtype=bool)
+            for idx, v in enumerate(current[u]):
+                nbrs = graph.neighbors_of(int(v))
+                for w in query.neighbors(u):
+                    if not masks[w][nbrs].any():
+                        keep[idx] = False
+                        break
+            if not keep.all():
+                current[u] = current[u][keep]
+                changed = True
+        if not changed:
+            break
+    return current

@@ -1,0 +1,24 @@
+"""gSWORD core: the simulated-GPU sampling engine and its optimizations."""
+
+from repro.core.config import EngineConfig, SyncMode
+from repro.core.engine import GSWORDEngine, GPURunResult
+from repro.core.inheritance import apply_inheritance
+from repro.core.pipeline import CoProcessingPipeline, PipelineConfig, PipelineResult
+from repro.core.streaming import WeightedReservoir, streaming_schedule
+from repro.core.trawling import TrawlingEstimator, TrawlingResult, select_trawl_depth
+
+__all__ = [
+    "EngineConfig",
+    "SyncMode",
+    "GSWORDEngine",
+    "GPURunResult",
+    "apply_inheritance",
+    "WeightedReservoir",
+    "streaming_schedule",
+    "TrawlingEstimator",
+    "TrawlingResult",
+    "select_trawl_depth",
+    "CoProcessingPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+]

@@ -1,0 +1,110 @@
+"""Engine configuration: synchronisation mode and optimization switches.
+
+The three ablation points of the paper's Figure 12 map directly onto
+:class:`EngineConfig`:
+
+* **O0** (GPU baseline, NextDoor-style): iteration synchronisation, no
+  inheritance, no streaming — lanes restart dead samples immediately, the
+  way sample-parallel GPU frameworks process RW workloads;
+* **O1**: sample synchronisation + inheritance (Alg. 2);
+* **O2** (full gSWORD): O1 + warp streaming (Alg. 3).
+
+``sync_mode`` selects the §3.2 alternative: ``SAMPLE`` (gSWORD's choice) or
+``ITERATION`` (the classic GPU-graph-processing approach that turns out
+slower for RW estimators because of its scattered access pattern).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+class SyncMode(str, enum.Enum):
+    """Warp synchronisation strategy (§3.2)."""
+
+    SAMPLE = "sample"
+    ITERATION = "iteration"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of one :class:`~repro.core.engine.GSWORDEngine` run.
+
+    Attributes:
+        sync_mode: sample or iteration synchronisation.
+        inheritance: enable sample inheritance (Alg. 2).  Only meaningful
+            under sample synchronisation (the paper's design); enabling it
+            with iteration sync raises.
+        streaming: enable warp streaming (Alg. 3).  A no-op for estimators
+            without a refine stage (WanderJoin), exactly as in Figure 12.
+        tasks_per_warp: size of the per-warp share of the block sample pool;
+            larger values amortise warp start-up in the simulation.
+        max_depth: truncate samples at this many matched vertices (used by
+            trawling to produce partial instances); ``None`` = full query.
+        streaming_threshold: minimum remaining candidates for the
+            collaborative phase (32 in the paper — one per lane).
+    """
+
+    sync_mode: SyncMode = SyncMode.SAMPLE
+    inheritance: bool = True
+    streaming: bool = True
+    tasks_per_warp: int = 128
+    max_depth: Optional[int] = None
+    streaming_threshold: int = 32
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sync_mode, SyncMode):
+            object.__setattr__(self, "sync_mode", SyncMode(self.sync_mode))
+        if self.inheritance and self.sync_mode is SyncMode.ITERATION:
+            raise ConfigError(
+                "sample inheritance requires sample synchronisation: lanes "
+                "must share the current iteration to inherit (Alg. 2)"
+            )
+        if self.tasks_per_warp <= 0:
+            raise ConfigError("tasks_per_warp must be positive")
+        if self.max_depth is not None and self.max_depth <= 0:
+            raise ConfigError("max_depth must be positive when given")
+        if self.streaming_threshold <= 0:
+            raise ConfigError("streaming_threshold must be positive")
+
+    # Named presets matching the paper's method labels -----------------
+    @classmethod
+    def gpu_baseline(cls, **overrides) -> "EngineConfig":
+        """NextDoor-style GPU baseline (Figure 12's O0; Table 2's GPU-WJ /
+        GPU-AL).  NextDoor's sample-parallel processing restarts a lane's
+        sample immediately when it dies — iteration synchronisation — and
+        pays the §3.2 locality penalty for it."""
+        return cls(
+            sync_mode=SyncMode.ITERATION,
+            inheritance=False,
+            streaming=False,
+            **overrides,
+        )
+
+    @classmethod
+    def sample_sync_baseline(cls, **overrides) -> "EngineConfig":
+        """Sample synchronisation without inheritance/streaming — the other
+        arm of the §3.2 micro-benchmark (Figure 5)."""
+        return cls(inheritance=False, streaming=False, **overrides)
+
+    @classmethod
+    def inheritance_only(cls, **overrides) -> "EngineConfig":
+        """Sample inheritance only (Figure 12's O1)."""
+        return cls(inheritance=True, streaming=False, **overrides)
+
+    @classmethod
+    def gsword(cls, **overrides) -> "EngineConfig":
+        """Full gSWORD (Figure 12's O2)."""
+        return cls(inheritance=True, streaming=True, **overrides)
+
+    @classmethod
+    def iteration_sync_baseline(cls, **overrides) -> "EngineConfig":
+        """Alias of :meth:`gpu_baseline` under its §3.2 name."""
+        return cls.gpu_baseline(**overrides)
+
+    def with_max_depth(self, max_depth: Optional[int]) -> "EngineConfig":
+        return replace(self, max_depth=max_depth)

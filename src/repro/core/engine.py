@@ -1,0 +1,521 @@
+"""The gSWORD engine: Alg. 1 executed on the SIMT simulator.
+
+One engine run launches enough simulated warps to consume the requested
+sample budget.  Each warp owns a share of the block sample pool
+(``tasks_per_warp`` tasks) and executes the RSV loop lane-by-lane in
+lockstep, charging the cost model for:
+
+* **GetMinCandidate** — per-backward-edge binary-search lookups (dependent
+  loads, lockstep max over lanes);
+* **Refine** — per-lane candidate scans (coalesced contiguous segments) and
+  membership probes (dependent chains), or the warp-streaming schedule when
+  enabled;
+* **Sample / Validate** — the random pick and duplicate/edge checks;
+* **warp primitives** — the ballots/shuffles of inheritance and streaming.
+
+Synchronisation modes follow §3.2: sample synchronisation (lanes wait for
+the whole warp before fetching; cohesive regions) versus iteration
+synchronisation (immediate restart; scattered regions and the Figure-5
+StallLong penalty).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.candidate.candidate_graph import CandidateGraph
+from repro.core.config import EngineConfig, SyncMode
+from repro.core.inheritance import apply_inheritance
+from repro.core.streaming import streaming_schedule
+from repro.errors import ConfigError
+from repro.estimators.base import (
+    RSVEstimator,
+    SampleOutcome,
+    SampleState,
+    StepContext,
+)
+from repro.estimators.ht import HTAccumulator
+from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
+from repro.gpu.device import DeviceModel
+from repro.gpu.memory import (
+    ARRAY_EDGE_CANDIDATES,
+    ARRAY_GLOBAL_CANDIDATES,
+    ARRAY_LOCAL_CANDIDATES,
+    WarpMemoryTracker,
+    dependent_chain_cost,
+    warp_instruction_cost,
+)
+from repro.gpu.profiler import KernelProfile, WarpProfile
+from repro.query.matching_order import MatchingOrder
+from repro.utils.rng import RandomSource, as_generator, spawn_generators
+
+#: Lane compute-op constants (multiples of ``GPUSpec.op_cycles``).
+_ITER_BASE_OPS = 12
+_CAND_SCAN_OPS = 4
+_SAMPLE_OPS = 8
+_VALIDATE_OPS = 6
+#: Global-memory loads per membership probe: each probe is a binary search
+#: over a sorted candidate slice (Fig. 19's ``find(v, lc)``), i.e. several
+#: serially-dependent loads, not one.
+_PROBE_LOADS = 2
+
+
+@dataclass
+class GPURunResult:
+    """Outcome of one simulated engine run.
+
+    Two sample counts coexist, mirroring the paper:
+
+    * ``n_samples`` — samples *collected*, the number the paper reports
+      ("we collected more samples while executing the same number of
+      iterations", §4.1): root tasks plus inherited continuations.
+    * ``n_root_samples`` — root tasks only, the HT denominator.  The
+      recursive estimator (Thm. 1) is normalised by roots; inherited
+      continuations are folded into their parent's subtree via the
+      pushed-down ``n_i`` weights, so normalising by anything else would
+      bias the estimate.
+
+    ``collected`` holds ``(partial_instance, probability)`` pairs when the
+    run was asked to collect (trawling input).
+    """
+
+    estimate: float
+    n_samples: int
+    n_root_samples: int
+    n_valid: int
+    accumulator: HTAccumulator
+    profile: KernelProfile
+    n_warps: int
+    tasks_per_warp: int
+    longest_warp_cycles: float
+    spec: GPUSpec
+    collected: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
+
+    @property
+    def valid_ratio(self) -> float:
+        if self.n_samples == 0:
+            return 0.0
+        return self.n_valid / self.n_samples
+
+    def simulated_ms(self) -> float:
+        """Simulated kernel duration for the samples actually run."""
+        device = DeviceModel(self.spec)
+        return device.kernel_ms(self.profile, self.longest_warp_cycles)
+
+    def simulated_ms_at(self, target_samples: int) -> float:
+        """Simulated duration extrapolated to ``target_samples`` i.i.d.
+        *collected* samples (cycles scale linearly; parallelism is
+        recomputed for the larger launch so extrapolation crosses the
+        saturation point correctly)."""
+        if self.n_samples <= 0 or target_samples <= 0:
+            raise ConfigError("sample counts must be positive")
+        scale = target_samples / self.n_samples
+        total_cycles = self.profile.total_cycles * scale
+        warps = max(1, math.ceil(self.n_warps * scale))
+        parallelism = min(warps, self.spec.resident_warps)
+        cycles = total_cycles / parallelism
+        if warps <= self.spec.resident_warps:
+            cycles = max(cycles, self.longest_warp_cycles)
+        return self.spec.launch_overhead_ms + self.spec.cycles_to_ms(cycles)
+
+    def samples_per_second(self) -> float:
+        ms = self.simulated_ms()
+        if ms <= 0:
+            return 0.0
+        return self.n_samples / ms * 1000.0
+
+
+class GSWORDEngine:
+    """Simulated-GPU executor for RSV estimators (Alg. 1 + §4 optimizations).
+
+    >>> from repro.estimators import WanderJoinEstimator
+    >>> engine = GSWORDEngine(WanderJoinEstimator())  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        estimator: RSVEstimator,
+        config: EngineConfig = EngineConfig(),
+        spec: GPUSpec = DEFAULT_GPU,
+    ) -> None:
+        self.estimator = estimator
+        self.config = config
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        n_samples: int,
+        rng: RandomSource = None,
+        collect_states: bool = False,
+    ) -> GPURunResult:
+        """Execute sampling until ``n_samples`` samples are *collected*.
+
+        Collected samples are what the paper's sample budgets count: root
+        tasks plus inherited continuations.  Without inheritance the two
+        coincide.
+        """
+        if n_samples <= 0:
+            raise ConfigError("n_samples must be positive")
+        tasks_per_warp = self.config.tasks_per_warp
+        max_warps = math.ceil(n_samples / tasks_per_warp)
+        warp_rngs = spawn_generators(rng, max_warps)
+        kernel = KernelProfile()
+        acc = HTAccumulator()
+        collected: List[Tuple[Tuple[int, ...], float]] = []
+        longest = 0.0
+        remaining = n_samples
+        n_warps = 0
+        total_collected = 0
+        while remaining > 0 and n_warps < max_warps:
+            quota = min(tasks_per_warp, remaining)
+            warp = self._run_warp(
+                cg, order, quota, warp_rngs[n_warps], collect_states
+            )
+            warp_acc, warp_profile, warp_valid, warp_collect, warp_count = warp
+            acc.merge(warp_acc)
+            kernel.add_warp(warp_profile, samples=warp_count, valid=warp_valid)
+            longest = max(longest, warp_profile.cycles)
+            collected.extend(warp_collect)
+            total_collected += warp_count
+            remaining -= warp_count
+            n_warps += 1
+        return GPURunResult(
+            estimate=acc.estimate,
+            n_samples=total_collected,
+            n_root_samples=acc.n,
+            n_valid=kernel.n_valid_samples,
+            accumulator=acc,
+            profile=kernel,
+            n_warps=n_warps,
+            tasks_per_warp=tasks_per_warp,
+            longest_warp_cycles=longest,
+            spec=self.spec,
+            collected=collected,
+        )
+
+    # ------------------------------------------------------------------
+    # Warp execution
+    # ------------------------------------------------------------------
+    def _target_depth(self, order: MatchingOrder) -> int:
+        n = len(order)
+        if self.config.max_depth is None:
+            return n
+        return min(self.config.max_depth, n)
+
+    def _run_warp(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        pool: int,
+        rng: np.random.Generator,
+        collect_states: bool,
+    ):
+        if self.config.sync_mode is SyncMode.SAMPLE:
+            return self._run_warp_sample_sync(cg, order, pool, rng, collect_states)
+        return self._run_warp_iteration_sync(cg, order, pool, rng, collect_states)
+
+    def _run_warp_sample_sync(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        pool: int,
+        rng: np.random.Generator,
+        collect_states: bool,
+    ):
+        W = self.spec.warp_size
+        target = self._target_depth(order)
+        n_q = len(order)
+        profile = WarpProfile()
+        tracker = WarpMemoryTracker(self.spec)
+        acc = HTAccumulator()
+        collected: List[Tuple[Tuple[int, ...], float]] = []
+        n_valid = 0
+        n_collected = 0
+        remaining = pool
+
+        while remaining > 0:
+            batch = min(W, remaining)
+            lanes = [SampleState.fresh(n_q) for _ in range(W)]
+            active = [i < batch for i in range(W)]
+            running = list(active)
+            round_inherited = 0
+
+            for d in range(target):
+                busy_before = sum(running)
+                if busy_before == 0:
+                    break
+                outcomes: List[Optional[SampleOutcome]] = [None] * W
+                for lane in range(W):
+                    if not running[lane]:
+                        continue
+                    ctx = StepContext(cg, order, d)
+                    outcomes[lane] = self.estimator.run_iteration(
+                        ctx, lanes[lane], rng
+                    )
+                cycles_before = profile.cycles
+                self._charge_iteration(profile, tracker, outcomes, order, d)
+                profile.charge_idle_wait(
+                    profile.cycles - cycles_before, busy_before, W
+                )
+                profile.note_lanes(busy=busy_before, total=W)
+
+                valid = [
+                    bool(outcomes[lane].valid) if outcomes[lane] else False
+                    for lane in range(W)
+                ]
+                if self.config.inheritance:
+                    running, inherited = apply_inheritance(
+                        lanes, valid, running, profile, self.spec
+                    )
+                    round_inherited += inherited
+                else:
+                    running = [r and v for r, v in zip(running, valid)]
+                if not any(running):
+                    break
+
+            # Leaf accounting: one HT value per root task in the batch; the
+            # inherited continuations count as *collected* samples (§4.1)
+            # but are already folded into their parents' leaf weights.
+            for lane in range(W):
+                if not active[lane]:
+                    continue
+                if running[lane] and lanes[lane].depth == target:
+                    acc.add(lanes[lane].ht_value)
+                    n_valid += 1
+                    if collect_states:
+                        collected.append(
+                            (
+                                tuple(lanes[lane].instance[:target]),
+                                lanes[lane].prob,
+                            )
+                        )
+                else:
+                    acc.add(0.0)
+            round_collected = batch + round_inherited
+            n_collected += round_collected
+            remaining -= round_collected
+        return acc, profile, n_valid, collected, n_collected
+
+    def _run_warp_iteration_sync(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        pool: int,
+        rng: np.random.Generator,
+        collect_states: bool,
+    ):
+        W = self.spec.warp_size
+        target = self._target_depth(order)
+        n_q = len(order)
+        profile = WarpProfile()
+        tracker = WarpMemoryTracker(self.spec)
+        acc = HTAccumulator()
+        collected: List[Tuple[Tuple[int, ...], float]] = []
+        n_valid = 0
+
+        fetched = min(W, pool)
+        lanes = [SampleState.fresh(n_q) for _ in range(W)]
+        active = [i < fetched for i in range(W)]
+
+        while any(active):
+            busy = sum(active)
+            outcomes: List[Optional[SampleOutcome]] = [None] * W
+            depths = [lanes[lane].depth for lane in range(W)]
+            for lane in range(W):
+                if not active[lane]:
+                    continue
+                ctx = StepContext(cg, order, depths[lane])
+                outcomes[lane] = self.estimator.run_iteration(ctx, lanes[lane], rng)
+            self._charge_iteration(
+                profile, tracker, outcomes, order, None, depths=depths
+            )
+            # No charge_idle_wait here: under iteration synchronisation a
+            # lane only goes inactive when the pool is exhausted, at which
+            # point its thread retires rather than stalls (the low-StallWait
+            # side of Figure 5).
+            profile.note_lanes(busy=busy, total=W)
+
+            for lane in range(W):
+                outcome = outcomes[lane]
+                if outcome is None:
+                    continue
+                done = False
+                if not outcome.valid:
+                    acc.add(0.0)
+                    done = True
+                elif lanes[lane].depth == target:
+                    acc.add(lanes[lane].ht_value)
+                    n_valid += 1
+                    if collect_states:
+                        collected.append(
+                            (tuple(lanes[lane].instance[:target]), lanes[lane].prob)
+                        )
+                    done = True
+                if done:
+                    # Iteration synchronisation: restart immediately if the
+                    # pool still has tasks, otherwise the lane idles.
+                    if fetched < pool:
+                        fetched += 1
+                        lanes[lane] = SampleState.fresh(n_q)
+                    else:
+                        active[lane] = False
+        return acc, profile, n_valid, collected, fetched
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    def _charge_iteration(
+        self,
+        profile: WarpProfile,
+        tracker: WarpMemoryTracker,
+        outcomes: Sequence[Optional[SampleOutcome]],
+        order: MatchingOrder,
+        depth: Optional[int],
+        depths: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Charge one lockstep iteration's compute + memory.
+
+        ``depth`` is the shared depth under sample synchronisation;
+        ``depths`` the per-lane depths under iteration synchronisation.
+        """
+        spec = self.spec
+        per_lane_ops: List[float] = []
+        max_lookup_chain = 0
+        total_lookups = 0
+        max_probe_chain = 0
+        total_probes = 0
+        streaming = self.config.streaming and self.estimator.has_refine_stage
+        lane_clens: List[int] = []
+        lane_probe_rates: List[float] = []
+
+        for lane, outcome in enumerate(outcomes):
+            if outcome is None:
+                per_lane_ops.append(0.0)
+                lane_clens.append(0)
+                lane_probe_rates.append(0.0)
+                continue
+            d = depth if depth is not None else (depths[lane] if depths else 0)
+            backs = len(order.backward[d]) if d < len(order) else 0
+            max_lookup_chain = max(max_lookup_chain, backs)
+            total_lookups += backs
+            # Depth 0 is the seed pick: a single uniform draw from the
+            # global candidate set, no refinement scan (the sample task's
+            # seed, Alg. 1 line 5).
+            needs_refine = self.estimator.has_refine_stage and backs > 0
+
+            ops = float(_ITER_BASE_OPS + _SAMPLE_OPS + _VALIDATE_OPS)
+            if needs_refine and not streaming:
+                ops += outcome.clen * _CAND_SCAN_OPS
+            per_lane_ops.append(ops * spec.op_cycles)
+
+            # Memory: the candidate scan (contiguous) and where it lives.
+            start, end = outcome.local_span
+            region = outcome.edge_id if outcome.edge_id >= 0 else -1
+            array = (
+                ARRAY_LOCAL_CANDIDATES
+                if outcome.edge_id >= 0
+                else ARRAY_GLOBAL_CANDIDATES
+            )
+            if needs_refine:
+                tracker.contiguous(array, region, start, max(0, end - start))
+            elif end > start:
+                # Only the sampled slot is read (WJ always; seed picks too).
+                tracker.touch(array, region, start + (end - start) // 2)
+            lane_clens.append(outcome.clen if needs_refine else 0)
+            probe_rate = outcome.probes / outcome.clen if outcome.clen else 0.0
+            lane_probe_rates.append(probe_rate)
+            max_probe_chain = max(max_probe_chain, outcome.probes)
+            total_probes += outcome.probes
+
+        # GetMinCandidate lookups: one binary search per backward edge.
+        # The warp issues max-over-lanes instructions (latency) and one
+        # transaction per lane load (issue slots).
+        profile.charge_memory(
+            self._lockstep_load_cost(
+                max_lookup_chain * _PROBE_LOADS, total_lookups * _PROBE_LOADS
+            ),
+            total_lookups * _PROBE_LOADS,
+            0,
+        )
+
+        if streaming:
+            schedule = streaming_schedule(
+                lane_clens, spec.warp_size, self.config.streaming_threshold
+            )
+            # Collaborative rounds: the candidate reads are coalesced (and
+            # already billed by the tracker's contiguous records); the cost
+            # here is the membership probes — per round, ~probe_rate
+            # warp-wide instructions of 32 scattered lanes — plus the A-Res
+            # reduction (~5 warp primitives: ballot/shfl/2x reduce, Alg. 3
+            # lines 6-13).
+            probe_rate = max(lane_probe_rates) if lane_probe_rates else 0.0
+            rounds = schedule.collaborative_rounds
+            if rounds:
+                probe_cycles = (
+                    rounds
+                    * probe_rate
+                    * _PROBE_LOADS
+                    * warp_instruction_cost(spec, spec.warp_size)
+                )
+                if probe_cycles:
+                    profile.charge_memory(
+                        probe_cycles,
+                        int(round(
+                            rounds * probe_rate * _PROBE_LOADS * spec.warp_size
+                        )),
+                        0,
+                    )
+                profile.charge_sync(rounds * 5 * spec.sync_cycles)
+                profile.charge_compute(
+                    rounds * _CAND_SCAN_OPS * spec.op_cycles
+                )
+            # Independent phase: leftover per-lane scans + probes.
+            profile.charge_compute(
+                schedule.independent_max * _CAND_SCAN_OPS * spec.op_cycles
+            )
+            leftover = [
+                r * rate for r, rate in zip(schedule.remainders, lane_probe_rates)
+            ]
+            max_leftover = max(leftover) if leftover else 0.0
+            total_leftover = sum(leftover)
+            profile.charge_memory(
+                self._lockstep_load_cost(
+                    max_leftover * _PROBE_LOADS, total_leftover * _PROBE_LOADS
+                ),
+                int(round(total_leftover * _PROBE_LOADS)),
+                0,
+            )
+        else:
+            # Per-lane probe loops in lockstep: the warp executes
+            # max-over-lanes probe instructions (each exposing latency) and
+            # pays an issue slot per transaction across all lanes.  Lanes
+            # with short candidate lists sit masked while the longest lane
+            # finishes — the refine imbalance streaming removes.
+            profile.charge_memory(
+                self._lockstep_load_cost(
+                    max_probe_chain * _PROBE_LOADS, total_probes * _PROBE_LOADS
+                ),
+                total_probes * _PROBE_LOADS,
+                0,
+            )
+
+        profile.charge_lockstep(per_lane_ops)
+        tracker.commit(profile)
+
+    def _lockstep_load_cost(self, max_chain: float, total_loads: float) -> float:
+        """Cycles for lockstep per-lane load loops: the slowest lane's chain
+        exposes latency per instruction; every lane's transactions consume
+        issue slots."""
+        if total_loads <= 0:
+            return 0.0
+        spec = self.spec
+        return max_chain * spec.mem_latency_cycles + total_loads * spec.issue_cycles

@@ -1,0 +1,74 @@
+"""Sample inheritance (Alg. 2, §4.1) and its unbiased weight adjustment.
+
+When some lanes of a warp invalidate their samples at an iteration, a
+parent lane holding a valid partial sample is elected by ``_ballot``; the
+idle lanes ``_shfl`` its state and all copies continue independently.  The
+copies collectively estimate the parent's subtree, so each copy's
+contribution must be scaled by ``1 / n_i`` where ``n_i = idle + 1`` is the
+number of copies (the recursive estimator R, Theorem 1).
+
+Note on the paper's pseudo-code: Alg. 2 writes ``s.prob = s.prob /
+(idleThreads+1)`` because its ``prob`` field carries the *inverse
+probability weight* ``Π|C_j|`` that the HT estimator multiplies by (Eq. 1).
+Our :class:`~repro.estimators.base.SampleState` stores the *probability*
+``Π 1/|C_j|`` (as in the appendix's Fig. 19 ``s.prob * prob`` updates with
+``prob = 1/rlen``), whose leaf contribution is ``1/prob`` — so the
+equivalent push-down is a *multiplication* by ``n_i``.  Theorem-1
+unbiasedness is what the property tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.estimators.base import SampleState
+from repro.gpu.costmodel import GPUSpec
+from repro.gpu.primitives import ballot_first, shfl, warp_any
+from repro.gpu.profiler import WarpProfile
+
+
+def apply_inheritance(
+    lanes: List[SampleState],
+    valid: Sequence[bool],
+    active: Sequence[bool],
+    profile: Optional[WarpProfile] = None,
+    spec: Optional[GPUSpec] = None,
+) -> Tuple[List[bool], int]:
+    """Run one inheritance round over a warp's lanes (replaces Alg. 1 L12).
+
+    Args:
+        lanes: per-lane sample states; invalid lanes are overwritten with a
+            copy of the parent's state.
+        valid: per-lane flag — did this lane's sample survive Validate?
+        active: per-lane flag — is the lane participating in this round at
+            all (lanes beyond the task pool are inactive and never inherit).
+
+    Returns:
+        ``(still_running, inherited_count)`` — per-lane continuation flags
+        (all True when a parent exists, the Alg. 2 behaviour) and how many
+        lanes inherited.
+    """
+    votes = [bool(a and v) for a, v in zip(active, valid)]
+    if not warp_any(votes, profile, spec):
+        # No valid partial sample anywhere in the warp: everyone breaks.
+        return [False] * len(lanes), 0
+
+    parent = ballot_first(votes, profile, spec)
+    idle = sum(1 for a, v in zip(active, valid) if a and not v)
+    if idle == 0:
+        return [bool(v) for v in votes], 0
+
+    # Scale the parent's contribution weight: idle+1 copies will estimate
+    # the parent's subtree, each must count for 1/(idle+1) of it.  With
+    # probability-valued prob this multiplies (see module docstring).
+    lanes[parent].prob *= idle + 1
+
+    inherited = 0
+    for lane, state in enumerate(lanes):
+        if not active[lane] or votes[lane]:
+            continue
+        source = shfl(lanes, parent, profile, spec)
+        lanes[lane] = source.copy()
+        inherited += 1
+    running = [bool(a) for a in active]
+    return running, inherited

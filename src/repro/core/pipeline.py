@@ -1,0 +1,316 @@
+"""CPU–GPU co-processing pipeline (§5, Figure 9).
+
+Sampling is batched: for each batch the (simulated) GPU produces complete
+samples for the running estimate, while ``t`` trawled samples are handed to
+CPU workers that enumerate their extensions concurrently.  When the GPU
+batch finishes, CPU enumeration is cut off and only *completed*
+enumerations contribute (the paper's timeout rule), so co-processing adds
+essentially no latency over GPU-only sampling (Figure 16).
+
+Because our GPU is simulated, "concurrently" is emulated deterministically:
+each of the ``cpu_threads`` virtual workers receives an enumeration budget
+proportional to the simulated GPU batch duration
+(``enum_nodes_per_ms × gpu_batch_ms`` search-tree nodes — node throughput is
+the CPU-side cost unit of :mod:`repro.enumeration`), and tasks are placed
+greedily on the worker with the most remaining budget.  A real
+``ThreadPoolExecutor`` backend with wall-clock deadlines is available via
+``backend="threads"`` for end-to-end runs; the simulated backend is the
+default because it is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.candidate.candidate_graph import CandidateGraph
+from repro.core.config import EngineConfig
+from repro.core.engine import GSWORDEngine
+from repro.core.trawling import TrawlingEstimator, TrawlTask, select_trawl_depth
+from repro.errors import ConfigError
+from repro.estimators.base import RSVEstimator
+from repro.estimators.ht import HTAccumulator
+from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
+from repro.query.matching_order import MatchingOrder
+from repro.utils.rng import RandomSource, as_generator, spawn_generators
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Co-processing pipeline parameters.
+
+    Attributes:
+        n_batches: sampling batches (paper default 6, tuned in Figure 17).
+        cpu_threads: enumeration workers (Figure 18 sweeps 1–12).
+        trawls_per_batch: ``t`` — samples transferred to the CPU per batch
+            (the paper sets ``t`` to the GPU core count; scaled down here
+            with the sample counts).
+        enum_nodes_per_ms: virtual CPU enumeration throughput per worker,
+            in search-tree nodes per millisecond of GPU-batch budget.
+        backend: ``"simulated"`` (deterministic) or ``"threads"`` (real
+            ``ThreadPoolExecutor`` with wall-clock deadlines).
+        wallclock_budget_scale: real-seconds budget per simulated GPU
+            millisecond, threads backend only.
+    """
+
+    n_batches: int = 6
+    cpu_threads: int = 12
+    trawls_per_batch: int = 64
+    enum_nodes_per_ms: float = 20000.0
+    backend: str = "simulated"
+    wallclock_budget_scale: float = 0.005
+    engine_config: EngineConfig = field(default_factory=EngineConfig.gsword)
+
+    def __post_init__(self) -> None:
+        if self.n_batches <= 0:
+            raise ConfigError("n_batches must be positive")
+        if self.cpu_threads <= 0:
+            raise ConfigError("cpu_threads must be positive")
+        if self.trawls_per_batch < 0:
+            raise ConfigError("trawls_per_batch must be non-negative")
+        if self.backend not in ("simulated", "threads"):
+            raise ConfigError(f"unknown backend {self.backend!r}")
+
+
+@dataclass
+class BatchReport:
+    """Per-batch accounting (feeds Figures 16 and 17)."""
+
+    gpu_ms: float
+    cpu_ms: float
+    n_samples: int
+    n_trawls: int
+    n_trawls_completed: int
+    n_trawls_discarded: int
+
+    @property
+    def overlapped_ms(self) -> float:
+        """Batch latency under overlap: CPU work hides behind the GPU."""
+        return max(self.gpu_ms, min(self.cpu_ms, self.gpu_ms))
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a co-processing run.
+
+    ``sampling_estimate`` is the pure GPU estimate; ``trawling_estimate``
+    the CPU-side estimate over trawled samples; ``final_estimate`` prefers
+    trawling whenever at least one enumeration completed (it strictly
+    dominates in the underestimation regime the pipeline targets).
+    """
+
+    sampling_estimate: float
+    trawling_estimate: float
+    n_samples: int  # collected GPU samples (roots + inherited continuations)
+    n_trawl_samples: int
+    n_enumerated: int
+    batches: List[BatchReport] = field(default_factory=list)
+    sampling_accumulator: HTAccumulator = field(default_factory=HTAccumulator)
+    trawling_accumulator: HTAccumulator = field(default_factory=HTAccumulator)
+
+    @property
+    def final_estimate(self) -> float:
+        """Trawling estimate when it produced evidence, else the sampling
+        estimate.  A zero trawling estimate carries no more information than
+        the (usually also zero) sampling estimate in the underestimation
+        regime, so the fallback loses nothing."""
+        if self.n_enumerated > 0 and self.trawling_estimate > 0:
+            return self.trawling_estimate
+        return self.sampling_estimate
+
+    @property
+    def total_gpu_ms(self) -> float:
+        return sum(b.gpu_ms for b in self.batches)
+
+    @property
+    def total_cpu_ms(self) -> float:
+        return sum(b.cpu_ms for b in self.batches)
+
+    @property
+    def total_pipeline_ms(self) -> float:
+        """End-to-end latency with overlap (≈ GPU time, Figure 16)."""
+        return sum(b.overlapped_ms for b in self.batches)
+
+
+class CoProcessingPipeline:
+    """Figure 9's batched GPU-sampling / CPU-enumeration overlap."""
+
+    def __init__(
+        self,
+        estimator: RSVEstimator,
+        config: PipelineConfig = PipelineConfig(),
+        spec: GPUSpec = DEFAULT_GPU,
+    ) -> None:
+        self.estimator = estimator
+        self.config = config
+        self.spec = spec
+        self.engine = GSWORDEngine(estimator, config.engine_config, spec)
+        self.trawler = TrawlingEstimator(estimator)
+
+    def run(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        n_samples: int,
+        rng: RandomSource = None,
+    ) -> PipelineResult:
+        """Run ``n_samples`` GPU samples across ``n_batches`` batches with
+        concurrent CPU trawling."""
+        if n_samples < self.config.n_batches:
+            raise ConfigError("need at least one sample per batch")
+        batch_rngs = spawn_generators(rng, 2 * self.config.n_batches)
+        sampling_acc = HTAccumulator()
+        trawl_acc = HTAccumulator()
+        batches: List[BatchReport] = []
+        n_enumerated = 0
+        n_collected = 0
+        per_batch = n_samples // self.config.n_batches
+
+        for b in range(self.config.n_batches):
+            batch_samples = per_batch
+            if b == self.config.n_batches - 1:
+                batch_samples = n_samples - per_batch * (self.config.n_batches - 1)
+            gpu_rng, cpu_rng = batch_rngs[2 * b], batch_rngs[2 * b + 1]
+
+            # GPU side: complete samples for the running estimate.
+            gpu_result = self.engine.run(cg, order, batch_samples, rng=gpu_rng)
+            sampling_acc.merge(gpu_result.accumulator)
+            n_collected += gpu_result.n_samples
+            gpu_ms = gpu_result.simulated_ms()
+
+            # CPU side: t trawled samples enumerated within the GPU window.
+            report = self._run_cpu_side(
+                cg, order, cpu_rng, gpu_ms, trawl_acc
+            )
+            n_enumerated += report.n_trawls_completed
+            batches.append(
+                BatchReport(
+                    gpu_ms=gpu_ms,
+                    cpu_ms=report.cpu_ms,
+                    n_samples=batch_samples,
+                    n_trawls=report.n_trawls,
+                    n_trawls_completed=report.n_trawls_completed,
+                    n_trawls_discarded=report.n_trawls_discarded,
+                )
+            )
+
+        return PipelineResult(
+            sampling_estimate=sampling_acc.estimate,
+            trawling_estimate=trawl_acc.estimate,
+            n_samples=n_collected,
+            n_trawl_samples=trawl_acc.n,
+            n_enumerated=n_enumerated,
+            batches=batches,
+            sampling_accumulator=sampling_acc,
+            trawling_accumulator=trawl_acc,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_cpu_side(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        rng: np.random.Generator,
+        gpu_ms: float,
+        trawl_acc: HTAccumulator,
+    ) -> BatchReport:
+        t = self.config.trawls_per_batch
+        tasks: List[Optional[TrawlTask]] = []
+        for _ in range(t):
+            tasks.append(self.trawler.sample_task(cg, order, rng))
+        if self.config.backend == "threads":
+            return self._enumerate_with_threads(cg, order, tasks, gpu_ms, trawl_acc)
+        return self._enumerate_simulated(cg, order, tasks, gpu_ms, trawl_acc)
+
+    def _enumerate_simulated(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        tasks: List[Optional[TrawlTask]],
+        gpu_ms: float,
+        trawl_acc: HTAccumulator,
+    ) -> BatchReport:
+        budget = self.config.enum_nodes_per_ms * gpu_ms
+        workers = [budget] * self.config.cpu_threads
+        completed = 0
+        discarded = 0
+        for task in tasks:
+            if task is None:
+                # Invalid prefix: a legitimate zero-valued trawl sample.
+                trawl_acc.add(0.0)
+                continue
+            worker = max(range(len(workers)), key=lambda w: workers[w])
+            node_budget = int(workers[worker])
+            if node_budget <= 0:
+                discarded += 1
+                continue
+            self.trawler.enumerate_task(cg, order, task, max_nodes=node_budget)
+            workers[worker] -= task.enum_nodes
+            if task.completed:
+                completed += 1
+                trawl_acc.add(task.estimate_value)
+            else:
+                discarded += 1
+        used = [budget - w for w in workers]
+        cpu_ms = (max(used) / self.config.enum_nodes_per_ms) if used else 0.0
+        return BatchReport(
+            gpu_ms=gpu_ms,
+            cpu_ms=cpu_ms,
+            n_samples=0,
+            n_trawls=len(tasks),
+            n_trawls_completed=completed,
+            n_trawls_discarded=discarded,
+        )
+
+    def _enumerate_with_threads(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        tasks: List[Optional[TrawlTask]],
+        gpu_ms: float,
+        trawl_acc: HTAccumulator,
+    ) -> BatchReport:
+        deadline_s = gpu_ms * self.config.wallclock_budget_scale
+        start = time.perf_counter()
+        completed = 0
+        discarded = 0
+        real_tasks = []
+        for task in tasks:
+            if task is None:
+                trawl_acc.add(0.0)
+            else:
+                real_tasks.append(task)
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.cpu_threads
+        ) as pool:
+            futures = [
+                pool.submit(
+                    self.trawler.enumerate_task,
+                    cg,
+                    order,
+                    task,
+                    None,
+                    deadline_s,
+                )
+                for task in real_tasks
+            ]
+            for future in futures:
+                task = future.result()
+                if task.completed:
+                    completed += 1
+                    trawl_acc.add(task.estimate_value)
+                else:
+                    discarded += 1
+        cpu_ms = (time.perf_counter() - start) * 1000.0
+        return BatchReport(
+            gpu_ms=gpu_ms,
+            cpu_ms=cpu_ms,
+            n_samples=0,
+            n_trawls=len(tasks),
+            n_trawls_completed=completed,
+            n_trawls_discarded=discarded,
+        )

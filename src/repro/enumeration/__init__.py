@@ -1,0 +1,15 @@
+"""Exact subgraph enumeration over the candidate graph."""
+
+from repro.enumeration.backtracking import (
+    EnumerationResult,
+    count_embeddings,
+    count_extensions,
+    enumerate_embeddings,
+)
+
+__all__ = [
+    "EnumerationResult",
+    "count_embeddings",
+    "count_extensions",
+    "enumerate_embeddings",
+]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the gSWORD reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad edges, label mismatches...)."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid query graphs (disconnected, too large...)."""
+
+
+class CandidateGraphError(ReproError):
+    """Raised when a candidate graph cannot be built or is inconsistent."""
+
+
+class EnumerationBudgetExceeded(ReproError):
+    """Raised when exact enumeration exceeds its count or time budget."""
+
+    def __init__(self, partial_count: int, message: str = "") -> None:
+        super().__init__(message or f"enumeration budget exceeded at count={partial_count}")
+        self.partial_count = partial_count
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistent SIMT simulator state (lane mismatch...)."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid engine / pipeline configuration values."""

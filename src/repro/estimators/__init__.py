@@ -1,0 +1,29 @@
+"""RW estimators under the Refine-Sample-Validate (RSV) abstraction."""
+
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.branching import BranchingAlleyRunner, BranchingRunResult
+from repro.estimators.base import (
+    RSVEstimator,
+    SampleOutcome,
+    SampleState,
+    StepContext,
+    get_min_candidate,
+)
+from repro.estimators.cpu_runner import CPURunResult, CPUSamplingRunner
+from repro.estimators.ht import HTAccumulator
+from repro.estimators.wanderjoin import WanderJoinEstimator
+
+__all__ = [
+    "RSVEstimator",
+    "SampleState",
+    "SampleOutcome",
+    "StepContext",
+    "get_min_candidate",
+    "WanderJoinEstimator",
+    "AlleyEstimator",
+    "HTAccumulator",
+    "CPUSamplingRunner",
+    "CPURunResult",
+    "BranchingAlleyRunner",
+    "BranchingRunResult",
+]

@@ -1,0 +1,131 @@
+"""CPU baseline runner (the paper's CPU-WJ / CPU-AL within G-CARE).
+
+Runs RSV samples scalar-sequentially and scores them with the CPU cycle
+model; simulated wall time assumes G-CARE-style dynamic scheduling over
+``threads`` workers, which for i.i.d. samples is near-perfectly balanced
+(paper §6.1: "it achieves high performance on CPUs because RW estimators
+are embarrassingly parallel").
+
+The runner shares the estimator kernels with the GPU engine, so CPU and GPU
+estimates for the same seed policy are statistically identical — only the
+time model differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.candidate.candidate_graph import CandidateGraph
+from repro.estimators.base import RSVEstimator, SampleState, StepContext
+from repro.estimators.ht import HTAccumulator
+from repro.gpu.costmodel import CPUSpec, DEFAULT_CPU
+from repro.query.matching_order import MatchingOrder
+from repro.utils.rng import RandomSource, as_generator
+
+
+@dataclass
+class CPURunResult:
+    """Outcome of a CPU sampling run.
+
+    ``simulated_ms`` is derived from the cycle model; ``checkpoints`` maps
+    sample counts to intermediate estimates when requested (Figure 1's
+    convergence curves).
+    """
+
+    estimate: float
+    n_samples: int
+    n_valid: int
+    total_cycles: float
+    simulated_ms: float
+    accumulator: HTAccumulator
+    checkpoints: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def valid_ratio(self) -> float:
+        if self.n_samples == 0:
+            return 0.0
+        return self.n_valid / self.n_samples
+
+
+class CPUSamplingRunner:
+    """Scalar RSV execution with per-operation cycle accounting."""
+
+    def __init__(
+        self,
+        estimator: RSVEstimator,
+        spec: CPUSpec = DEFAULT_CPU,
+        threads: int = 0,
+    ) -> None:
+        self.estimator = estimator
+        self.spec = spec
+        self.threads = threads or spec.threads
+
+    def _iteration_cycles(self, clen: int, probes: int, backs: int) -> float:
+        """Cycle cost of one RSV iteration on the CPU model."""
+        spec = self.spec
+        cycles = float(spec.iteration_overhead_cycles)
+        cycles += backs * spec.probe_cycles  # GetMinCandidate lookups
+        if self.estimator.has_refine_stage:
+            # Refinement scans + probes a cache-resident slice (cheap).
+            cycles += clen * spec.candidate_scan_cycles
+            cycles += probes * spec.refine_probe_cycles
+        else:
+            # Validate probes chase cold candidate lists.
+            cycles += probes * spec.probe_cycles
+        return cycles
+
+    def run(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        n_samples: int,
+        rng: RandomSource = None,
+        checkpoint_at: Optional[List[int]] = None,
+        max_depth: Optional[int] = None,
+    ) -> CPURunResult:
+        """Execute ``n_samples`` RW samples and aggregate with HT.
+
+        ``checkpoint_at`` records ``(estimate, simulated_ms)`` snapshots at
+        the given sample counts; ``max_depth`` truncates samples for
+        trawling-style partial sampling.
+        """
+        gen = as_generator(rng)
+        acc = HTAccumulator()
+        total_cycles = 0.0
+        checkpoints: Dict[int, Tuple[float, float]] = {}
+        checkpoint_set = set(checkpoint_at or [])
+        n_q = len(order)
+        target_depth = n_q if max_depth is None else min(max_depth, n_q)
+
+        for i in range(n_samples):
+            state = SampleState.fresh(n_q)
+            total_cycles += self.spec.sample_overhead_cycles
+            valid = True
+            for d in range(target_depth):
+                ctx = StepContext(cg, order, d)
+                outcome = self.estimator.run_iteration(ctx, state, gen)
+                total_cycles += self._iteration_cycles(
+                    outcome.clen, outcome.probes, len(order.backward[d])
+                )
+                if not outcome.valid:
+                    valid = False
+                    break
+            acc.add(state.ht_value if valid else 0.0)
+            if (i + 1) in checkpoint_set:
+                checkpoints[i + 1] = (
+                    acc.estimate,
+                    self.spec.cycles_to_ms(total_cycles, self.threads),
+                )
+
+        return CPURunResult(
+            estimate=acc.estimate,
+            n_samples=acc.n,
+            n_valid=acc.n_valid,
+            total_cycles=total_cycles,
+            simulated_ms=self.spec.cycles_to_ms(total_cycles, self.threads),
+            accumulator=acc,
+            checkpoints=checkpoints,
+        )

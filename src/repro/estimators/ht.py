@@ -1,0 +1,101 @@
+"""Horvitz–Thompson aggregation (Definition 6 / Equation 1).
+
+Each RW sample contributes ``Y_i / π_i`` — zero for invalid samples,
+``1 / P(s_i)`` (the product of candidate-set sizes along the walk) for valid
+ones.  The accumulator keeps streaming moments (Welford) so benches can
+report variance and relative confidence intervals without storing samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class HTAccumulator:
+    """Streaming mean/variance of HT sample values.
+
+    >>> acc = HTAccumulator()
+    >>> acc.add(24.0); acc.add(0.0)
+    >>> acc.estimate
+    12.0
+    """
+
+    n: int = 0
+    n_valid: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Add one sample's HT value (0.0 for an invalid sample)."""
+        if value < 0:
+            raise ValueError("HT sample values are non-negative")
+        self.n += 1
+        if value > 0:
+            self.n_valid += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+
+    def add_invalid(self, count: int = 1) -> None:
+        """Add ``count`` invalid (zero-valued) samples in O(1) each."""
+        for _ in range(count):
+            self.add(0.0)
+
+    @property
+    def estimate(self) -> float:
+        """The HT estimate ``(Σ Y_i/π_i) / n``; 0.0 before any sample."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance of the per-sample HT values."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the estimate."""
+        if self.n < 2:
+            return 0.0
+        return math.sqrt(self.variance / self.n)
+
+    @property
+    def valid_ratio(self) -> float:
+        """Fraction of samples that found an instance (Figure 14 metric)."""
+        if self.n == 0:
+            return 0.0
+        return self.n_valid / self.n
+
+    def merge(self, other: "HTAccumulator") -> "HTAccumulator":
+        """Parallel-reduce two accumulators (Chan et al. merge).
+
+        This is the cross-thread estimate aggregation Alg. 1 leaves to the
+        GPU parallel reduction.
+        """
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self.n_valid = other.n_valid
+            self._mean = other._mean
+            self._m2 = other._m2
+            return self
+        total = self.n + other.n
+        delta = other._mean - self._mean
+        self._mean += delta * other.n / total
+        self._m2 += other._m2 + delta * delta * self.n * other.n / total
+        self.n = total
+        self.n_valid += other.n_valid
+        return self
+
+    def scaled_copy(self, weight: float) -> "HTAccumulator":
+        """A copy whose sample values are multiplied by ``weight`` (used by
+        trawling, where the partial-sample estimate is scaled by the
+        enumerated extension count)."""
+        copy = HTAccumulator(n=self.n, n_valid=self.n_valid)
+        copy._mean = self._mean * weight
+        copy._m2 = self._m2 * weight * weight
+        return copy

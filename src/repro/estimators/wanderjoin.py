@@ -1,0 +1,65 @@
+"""WanderJoin (Li et al.) as an RSV kernel — appendix Fig. 19, left column.
+
+WanderJoin's Refine is a pass-through (it samples directly from the smallest
+local candidate set), so all the consistency work lands in Validate: the
+sampled vertex must connect to *every* already-matched backward neighbour
+and must not repeat a matched vertex.  Cheap iterations, many invalid
+samples — which is exactly the validate imbalance that sample inheritance
+targets on the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.estimators.base import RSVEstimator, SampleState, StepContext
+
+
+class WanderJoinEstimator(RSVEstimator):
+    """WanderJoin: pass-through refine, heavyweight validate."""
+
+    name = "WJ"
+    has_refine_stage = False
+
+    def refine(
+        self,
+        ctx: StepContext,
+        state: SampleState,
+        cand: np.ndarray,
+        others: Sequence[int],
+    ) -> Tuple[np.ndarray, int]:
+        # Fig. 19: "pass cand array to refine array".
+        return cand, 0
+
+    def validate(
+        self,
+        ctx: StepContext,
+        state: SampleState,
+        v: int,
+        prob_factor: float,
+        others: Sequence[int],
+    ) -> Tuple[bool, int]:
+        # Fig. 19's WJ kernel checks IsEdge against every backward query
+        # edge, including the one the vertex was sampled from — charge that
+        # redundant probe too.
+        probes = 1 if ctx.depth > 0 else 0
+        if state.contains(v):
+            return False, probes
+        cg, order, d = ctx.cg, ctx.order, ctx.depth
+        u = order.order[d]
+        if not cg.label_filtered:
+            # Direct-on-data-graph mode: labels are not pre-filtered, so
+            # they must be verified here (one extra probe).
+            probes += 1
+            if cg.graph.label(v) != cg.query.label(u):
+                return False, probes
+        for j in others:
+            u_b = order.order[j]
+            eid = cg.edge_id(u_b, u)
+            probes += 1
+            if not cg.has_local_candidate(eid, state.instance[j], v):
+                return False, probes
+        state.push(v, prob_factor)
+        return True, probes

@@ -1,0 +1,35 @@
+"""SIMT GPU simulator substrate.
+
+The paper runs CUDA kernels on RTX 2080 Ti hardware; this package provides a
+deterministic stand-in that executes the same lane-level algorithms under an
+explicit SIMT model: 32-lane warps in lockstep, warp-vote/shuffle
+primitives, a coalescing-aware memory cost model, and occupancy-based
+conversion of warp cycles into simulated milliseconds.  See DESIGN.md for
+why this substitution preserves the paper's phenomena.
+"""
+
+from repro.gpu.costmodel import CPUSpec, GPUSpec
+from repro.gpu.device import DeviceModel
+from repro.gpu.memory import WarpMemoryTracker
+from repro.gpu.primitives import (
+    ballot_first,
+    reduce_max_by_key,
+    reduce_sum,
+    shfl,
+    warp_any,
+)
+from repro.gpu.profiler import KernelProfile, WarpProfile
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "DeviceModel",
+    "WarpMemoryTracker",
+    "WarpProfile",
+    "KernelProfile",
+    "warp_any",
+    "ballot_first",
+    "shfl",
+    "reduce_sum",
+    "reduce_max_by_key",
+]

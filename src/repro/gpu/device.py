@@ -1,0 +1,59 @@
+"""Device timing: converting warp cycle totals into simulated milliseconds.
+
+GPUs hide latency by oversubscription: while one warp stalls on memory,
+others issue.  To first order the sustained throughput of an embarrassingly
+parallel kernel is therefore ``total_warp_cycles / resident_warps`` device
+cycles — the model used here.  Kernels smaller than the resident-warp count
+are bounded by their longest warp instead (no free parallelism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.gpu.costmodel import GPUSpec
+from repro.gpu.profiler import KernelProfile
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Simulated device clock for kernel-duration estimates."""
+
+    spec: GPUSpec = GPUSpec()
+
+    def kernel_ms(
+        self,
+        profile: KernelProfile,
+        longest_warp_cycles: Optional[float] = None,
+    ) -> float:
+        """Simulated duration of one kernel launch.
+
+        ``longest_warp_cycles`` tightens the bound for small launches: the
+        kernel cannot finish before its slowest warp does.
+        """
+        if profile.n_warps <= 0:
+            return self.spec.launch_overhead_ms
+        parallelism = min(profile.n_warps, self.spec.resident_warps)
+        throughput_cycles = profile.total_cycles / parallelism
+        floor_cycles = longest_warp_cycles or 0.0
+        cycles = max(throughput_cycles, floor_cycles)
+        return self.spec.launch_overhead_ms + self.spec.cycles_to_ms(cycles)
+
+    def scale_to_samples(
+        self, measured_ms: float, measured_samples: int, target_samples: int
+    ) -> float:
+        """Linear extrapolation of a kernel time to a larger sample count.
+
+        Samples are i.i.d. with constant expected cost, so time scales
+        linearly once the device is saturated; the launch overhead is
+        charged once.
+        """
+        if measured_samples <= 0:
+            raise ConfigError("measured_samples must be positive")
+        variable = max(0.0, measured_ms - self.spec.launch_overhead_ms)
+        return (
+            self.spec.launch_overhead_ms
+            + variable * (target_samples / measured_samples)
+        )

@@ -1,0 +1,111 @@
+"""Coalescing- and latency-aware memory accounting for simulated warps.
+
+Two cost shapes matter for the paper's phenomena:
+
+* **Warp instructions** — all 32 lanes issue one access together.  Cost is
+  one latency plus an issue slot per distinct 128-byte *segment* touched,
+  plus a locality penalty per additional distinct *region* (a region being
+  one candidate-array block, e.g. the local candidate lists of one directed
+  query edge).  Sample synchronisation keeps lanes in the same region
+  (§3.2); iteration synchronisation scatters them and pays the penalty —
+  this is the StallLong gap of Figure 5.
+
+* **Dependent chains** — one lane issuing loads whose addresses depend on
+  previous results (binary-search probes during Alley refinement).  No
+  memory-level parallelism is available, so each load pays full latency.
+  Warp streaming converts these serial chains into warp instructions, which
+  is exactly why it wins (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.gpu.costmodel import GPUSpec
+from repro.gpu.profiler import WarpProfile
+
+#: Array ids used by the engine when charging accesses.
+ARRAY_QUERY_CSR = 0
+ARRAY_EDGE_CANDIDATES = 1
+ARRAY_LOCAL_CANDIDATES = 2
+ARRAY_GLOBAL_CANDIDATES = 3
+ARRAY_SAMPLE_STATE = 4
+
+
+def warp_instruction_cost(spec: GPUSpec, segments: int, extra_regions: int = 0) -> float:
+    """Cycles for one warp-wide memory instruction touching ``segments``
+    distinct transactions across ``extra_regions`` additional regions."""
+    if segments <= 0:
+        return 0.0
+    return (
+        spec.mem_latency_cycles
+        + segments * spec.issue_cycles
+        + extra_regions * spec.region_miss_cycles
+    )
+
+
+def dependent_chain_cost(spec: GPUSpec, n_loads: int) -> float:
+    """Cycles for ``n_loads`` serially-dependent single-lane loads."""
+    if n_loads <= 0:
+        return 0.0
+    return n_loads * (spec.mem_latency_cycles + spec.issue_cycles)
+
+
+def scan_segments(spec: GPUSpec, start: int, length: int) -> int:
+    """Distinct segments covered by a contiguous scan of ``length`` elements."""
+    if length <= 0:
+        return 0
+    seg = spec.segment_elements
+    return (start + length - 1) // seg - start // seg + 1
+
+
+class WarpMemoryTracker:
+    """Accumulates one warp instruction's lane accesses, then commits cost.
+
+    Used for the contiguous scans where cross-lane coalescing matters: the
+    union of segments is billed once, so 32 lanes reading the same candidate
+    block cost barely more than one lane reading it.
+    """
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+        self._segments: Set[Tuple[int, int]] = set()
+        self._regions: Set[Tuple[int, int]] = set()
+
+    def contiguous(self, array_id: int, region: int, start: int, length: int) -> None:
+        """Record a lane's sequential scan of ``length`` elements."""
+        if length <= 0:
+            return
+        seg = self.spec.segment_elements
+        first = start // seg
+        last = (start + length - 1) // seg
+        for s in range(first, last + 1):
+            self._segments.add((array_id, s))
+        self._regions.add((array_id, region))
+
+    def touch(self, array_id: int, region: int, position: int) -> None:
+        """Record a single-element access at a known offset."""
+        self._segments.add((array_id, position // self.spec.segment_elements))
+        self._regions.add((array_id, region))
+
+    @property
+    def pending_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def pending_regions(self) -> int:
+        return len(self._regions)
+
+    def commit(self, profile: WarpProfile) -> float:
+        """Convert collected accesses into cycles, charge, and reset.
+
+        Returns the cycles charged (handy for tests).
+        """
+        segments = len(self._segments)
+        extra_regions = max(0, len(self._regions) - 1)
+        cycles = warp_instruction_cost(self.spec, segments, extra_regions)
+        if cycles:
+            profile.charge_memory(cycles, segments, extra_regions)
+        self._segments.clear()
+        self._regions.clear()
+        return cycles

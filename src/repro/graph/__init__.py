@@ -1,0 +1,26 @@
+"""Graph substrate: CSR data graphs, builders, IO, and dataset generators."""
+
+from repro.graph.builder import GraphBuilder, from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASET_PROFILES, DatasetProfile, load_dataset
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_cluster_graph,
+    preferential_attachment_graph,
+    random_labels,
+    ring_lattice_graph,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edge_list",
+    "DatasetProfile",
+    "DATASET_PROFILES",
+    "load_dataset",
+    "erdos_renyi_graph",
+    "power_law_cluster_graph",
+    "preferential_attachment_graph",
+    "ring_lattice_graph",
+    "random_labels",
+]

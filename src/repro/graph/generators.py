@@ -1,0 +1,261 @@
+"""Synthetic graph generators used to build the paper-dataset analogs.
+
+Implemented from scratch (no networkx dependency) so the degree-sequence and
+clustering behaviour is under our control and fully seeded:
+
+* ``preferential_attachment_graph`` — Barabási–Albert; heavy-tailed degrees
+  like the web/social graphs (eu2005, Orkut, uk2002).
+* ``power_law_cluster_graph`` — Holme–Kim variant adding triad closure;
+  matches the high clustering of citation/biology graphs (Patents, Yeast).
+* ``erdos_renyi_graph`` — G(n, m) uniform random graph; near-Poisson degrees.
+* ``ring_lattice_graph`` — k-regular ring with optional rewiring
+  (Watts–Strogatz); low-degree, low-variance graphs like WordNet.
+* ``random_labels`` — Zipf-distributed vertex labels, mirroring the skewed
+  label frequencies of real labelled graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import RandomSource, as_generator
+
+
+def random_labels(
+    n_vertices: int,
+    n_labels: int,
+    rng: RandomSource = None,
+    zipf_exponent: float = 1.0,
+) -> np.ndarray:
+    """Zipf-skewed label assignment over ``n_labels`` labels.
+
+    ``zipf_exponent == 0`` gives uniform labels; larger exponents concentrate
+    mass on a few labels (label 0 most frequent), which is what makes some
+    query vertices highly selective — the behaviour driving candidate-set
+    size variance in the paper's labelled datasets.
+    """
+    if n_labels <= 0:
+        raise GraphError("n_labels must be positive")
+    gen = as_generator(rng)
+    ranks = np.arange(1, n_labels + 1, dtype=np.float64)
+    weights = ranks ** (-zipf_exponent)
+    weights /= weights.sum()
+    return gen.choice(n_labels, size=n_vertices, p=weights).astype(np.int32)
+
+
+def preferential_attachment_graph(
+    n_vertices: int,
+    edges_per_vertex: int,
+    rng: RandomSource = None,
+    labels: Optional[np.ndarray] = None,
+    name: str = "ba",
+    hub_bias: float = 0.0,
+) -> CSRGraph:
+    """Barabási–Albert preferential attachment (heavy-tailed degrees).
+
+    ``hub_bias`` thickens the degree tail beyond classic BA (whose power-law
+    exponent 3 is lighter than real web/social graphs' ~2.1): with that
+    probability an attachment draws two degree-proportional candidates and
+    keeps the higher-degree one, concentrating extra mass on hubs.
+    """
+    if edges_per_vertex < 1:
+        raise GraphError("edges_per_vertex must be >= 1")
+    if n_vertices <= edges_per_vertex:
+        raise GraphError("n_vertices must exceed edges_per_vertex")
+    if not 0.0 <= hub_bias <= 1.0:
+        raise GraphError("hub_bias must lie in [0, 1]")
+    gen = as_generator(rng)
+    m = edges_per_vertex
+    edges: List[Tuple[int, int]] = []
+    degrees = np.zeros(n_vertices, dtype=np.int64)
+    # Repeated-vertex list: sampling uniformly from it is sampling
+    # proportional to degree.
+    repeated: List[int] = list(range(m))
+    for new in range(m, n_vertices):
+        targets: Set[int] = set()
+        while len(targets) < m:
+            if repeated and gen.random() < 0.9:
+                candidate = repeated[int(gen.integers(0, len(repeated)))]
+                if hub_bias and gen.random() < hub_bias:
+                    rival = repeated[int(gen.integers(0, len(repeated)))]
+                    if degrees[rival] > degrees[candidate]:
+                        candidate = rival
+            else:  # small uniform component keeps early vertices reachable
+                candidate = int(gen.integers(0, new))
+            if candidate != new:
+                targets.add(candidate)
+        for t in targets:
+            edges.append((new, t))
+            repeated.append(new)
+            repeated.append(t)
+            degrees[new] += 1
+            degrees[t] += 1
+    lab = labels if labels is not None else np.zeros(n_vertices, dtype=np.int32)
+    return from_edge_list(edges, labels=lab, n_vertices=n_vertices, name=name)
+
+
+def power_law_cluster_graph(
+    n_vertices: int,
+    edges_per_vertex: int,
+    triangle_prob: float,
+    rng: RandomSource = None,
+    labels: Optional[np.ndarray] = None,
+    name: str = "plc",
+) -> CSRGraph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    After each preferential-attachment edge ``(new, t)``, with probability
+    ``triangle_prob`` the next edge closes a triangle by attaching ``new`` to
+    a random neighbour of ``t``.  Triangle density is what gives subgraph
+    queries many embeddings — essential for non-trivial counting workloads.
+    """
+    if not 0.0 <= triangle_prob <= 1.0:
+        raise GraphError("triangle_prob must lie in [0, 1]")
+    if n_vertices <= edges_per_vertex:
+        raise GraphError("n_vertices must exceed edges_per_vertex")
+    gen = as_generator(rng)
+    m = edges_per_vertex
+    adjacency: List[Set[int]] = [set() for _ in range(n_vertices)]
+    repeated: List[int] = list(range(m))
+
+    def connect(a: int, b: int) -> bool:
+        if a == b or b in adjacency[a]:
+            return False
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+        repeated.append(a)
+        repeated.append(b)
+        return True
+
+    for new in range(m, n_vertices):
+        added = 0
+        last_target = -1
+        guard = 0
+        while added < m and guard < 50 * m:
+            guard += 1
+            close_triangle = (
+                last_target >= 0
+                and adjacency[last_target]
+                and gen.random() < triangle_prob
+            )
+            if close_triangle:
+                nbrs = tuple(adjacency[last_target])
+                candidate = nbrs[int(gen.integers(0, len(nbrs)))]
+            else:
+                candidate = repeated[int(gen.integers(0, len(repeated)))]
+            if connect(new, candidate):
+                added += 1
+                last_target = candidate
+    edges = [
+        (u, v) for u in range(n_vertices) for v in adjacency[u] if u < v
+    ]
+    lab = labels if labels is not None else np.zeros(n_vertices, dtype=np.int32)
+    return from_edge_list(edges, labels=lab, n_vertices=n_vertices, name=name)
+
+
+def hub_sparse_graph(
+    n_vertices: int,
+    extra_edges: int,
+    rng: RandomSource = None,
+    labels: Optional[np.ndarray] = None,
+    name: str = "hub_sparse",
+    hub_bias: float = 0.5,
+) -> CSRGraph:
+    """A sparse graph with strong hubs: a preferential-attachment tree plus
+    uniform random extra edges.
+
+    Mimics lexical graphs like WordNet: low average degree (~3) but a
+    heavy-tailed degree distribution.  The hub stars make the number of
+    k-vertex embeddings combinatorially large while uniform random walks
+    almost never assemble a valid one — the underestimation regime of the
+    paper's §5 (Fig. 15).
+    """
+    gen = as_generator(rng)
+    tree = preferential_attachment_graph(
+        n_vertices, 1, rng=gen, name=name, hub_bias=hub_bias
+    )
+    edges: Set[Tuple[int, int]] = set()
+    for u, v in tree.edges():
+        edges.add((u, v))
+    target = len(edges) + extra_edges
+    while len(edges) < target:
+        u = int(gen.integers(0, n_vertices))
+        v = int(gen.integers(0, n_vertices))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    lab = labels if labels is not None else np.zeros(n_vertices, dtype=np.int32)
+    return from_edge_list(sorted(edges), labels=lab, n_vertices=n_vertices, name=name)
+
+
+def erdos_renyi_graph(
+    n_vertices: int,
+    n_edges: int,
+    rng: RandomSource = None,
+    labels: Optional[np.ndarray] = None,
+    name: str = "er",
+) -> CSRGraph:
+    """G(n, m): ``n_edges`` distinct uniform random edges."""
+    max_edges = n_vertices * (n_vertices - 1) // 2
+    if n_edges > max_edges:
+        raise GraphError(f"{n_edges} edges exceed the {max_edges} possible")
+    gen = as_generator(rng)
+    chosen: Set[Tuple[int, int]] = set()
+    while len(chosen) < n_edges:
+        batch = gen.integers(0, n_vertices, size=(2 * (n_edges - len(chosen)) + 8, 2))
+        for u, v in batch:
+            if u == v:
+                continue
+            edge = (int(min(u, v)), int(max(u, v)))
+            chosen.add(edge)
+            if len(chosen) >= n_edges:
+                break
+    lab = labels if labels is not None else np.zeros(n_vertices, dtype=np.int32)
+    return from_edge_list(sorted(chosen), labels=lab, n_vertices=n_vertices, name=name)
+
+
+def ring_lattice_graph(
+    n_vertices: int,
+    k: int,
+    rewire_prob: float = 0.0,
+    rng: RandomSource = None,
+    labels: Optional[np.ndarray] = None,
+    name: str = "ring",
+) -> CSRGraph:
+    """k-nearest-neighbour ring with Watts–Strogatz rewiring.
+
+    Produces low-variance degree sequences (every vertex ≈ degree ``k``),
+    mimicking sparse lexical graphs like WordNet where valid RW samples are
+    rare for large queries.
+    """
+    if k < 2 or k % 2 != 0:
+        raise GraphError("k must be an even integer >= 2")
+    if n_vertices <= k:
+        raise GraphError("n_vertices must exceed k")
+    gen = as_generator(rng)
+    edges: Set[Tuple[int, int]] = set()
+    for v in range(n_vertices):
+        for offset in range(1, k // 2 + 1):
+            w = (v + offset) % n_vertices
+            edges.add((min(v, w), max(v, w)))
+    if rewire_prob > 0:
+        rewired: Set[Tuple[int, int]] = set()
+        for u, v in sorted(edges):
+            if gen.random() < rewire_prob:
+                for _ in range(16):
+                    w = int(gen.integers(0, n_vertices))
+                    cand = (min(u, w), max(u, w))
+                    if w != u and cand not in rewired and cand not in edges:
+                        rewired.add(cand)
+                        break
+                else:
+                    rewired.add((u, v))
+            else:
+                rewired.add((u, v))
+        edges = rewired
+    lab = labels if labels is not None else np.zeros(n_vertices, dtype=np.int32)
+    return from_edge_list(sorted(edges), labels=lab, n_vertices=n_vertices, name=name)

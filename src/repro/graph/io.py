@@ -1,0 +1,97 @@
+"""Serialisation of data graphs in the common subgraph-matching text format.
+
+The format (used by the datasets of Sun & Luo's in-memory study, which the
+paper also uses) is::
+
+    t <n_vertices> <n_edges>
+    v <id> <label> <degree>
+    ...
+    e <u> <v>
+    ...
+
+Degrees on ``v`` lines are informational and re-derived on load.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, Path]
+
+
+def dump_graph(graph: CSRGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in the ``t/v/e`` text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write(graph, handle)
+
+
+def dumps_graph(graph: CSRGraph) -> str:
+    """Serialise ``graph`` to a string (mainly for tests)."""
+    buffer = io.StringIO()
+    _write(graph, buffer)
+    return buffer.getvalue()
+
+
+def _write(graph: CSRGraph, handle) -> None:
+    handle.write(f"t {graph.n_vertices} {graph.n_edges}\n")
+    for v in range(graph.n_vertices):
+        handle.write(f"v {v} {graph.label(v)} {graph.degree(v)}\n")
+    for u, v in graph.edges():
+        handle.write(f"e {u} {v}\n")
+
+
+def load_graph(path: PathLike, name: str = "") -> CSRGraph:
+    """Read a graph from ``path`` in the ``t/v/e`` text format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_graph(handle.read(), name=name or Path(path).stem)
+
+
+def loads_graph(text: str, name: str = "graph") -> CSRGraph:
+    """Parse a graph from a ``t/v/e`` format string."""
+    n_vertices = -1
+    declared_edges = -1
+    labels: List[int] = []
+    edges: List[Tuple[int, int]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "t":
+            if len(parts) < 3:
+                raise GraphError(f"line {lineno}: malformed header {line!r}")
+            n_vertices = int(parts[1])
+            declared_edges = int(parts[2])
+            labels = [0] * n_vertices
+        elif kind == "v":
+            if n_vertices < 0:
+                raise GraphError(f"line {lineno}: 'v' before 't' header")
+            if len(parts) < 3:
+                raise GraphError(f"line {lineno}: malformed vertex {line!r}")
+            vid, label = int(parts[1]), int(parts[2])
+            if not 0 <= vid < n_vertices:
+                raise GraphError(f"line {lineno}: vertex id {vid} out of range")
+            labels[vid] = label
+        elif kind == "e":
+            if n_vertices < 0:
+                raise GraphError(f"line {lineno}: 'e' before 't' header")
+            if len(parts) < 3:
+                raise GraphError(f"line {lineno}: malformed edge {line!r}")
+            edges.append((int(parts[1]), int(parts[2])))
+        else:
+            raise GraphError(f"line {lineno}: unknown record kind {kind!r}")
+    if n_vertices < 0:
+        raise GraphError("missing 't' header line")
+    graph = from_edge_list(edges, labels=labels, n_vertices=n_vertices, name=name)
+    if declared_edges >= 0 and graph.n_edges != declared_edges:
+        raise GraphError(
+            f"header declared {declared_edges} edges but parsed {graph.n_edges}"
+        )
+    return graph

@@ -1,0 +1,14 @@
+"""Evaluation metrics: q-error and summary statistics."""
+
+from repro.metrics.qerror import is_underestimate, q_error, signed_q_error
+from repro.metrics.stats import SeriesSummary, geometric_mean, speedup, summarize
+
+__all__ = [
+    "q_error",
+    "signed_q_error",
+    "is_underestimate",
+    "geometric_mean",
+    "speedup",
+    "summarize",
+    "SeriesSummary",
+]

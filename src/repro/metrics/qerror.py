@@ -1,0 +1,40 @@
+"""q-error (Moerkotte et al.), the paper's accuracy metric (§6.4).
+
+``q_error = max(max(1, c) / max(1, ĉ), max(1, ĉ) / max(1, c))`` — always at
+least 1, symmetric in over/underestimation.  The paper plots overestimated
+queries upward and underestimated ones downward around 1, which
+:func:`signed_q_error` supports.
+"""
+
+from __future__ import annotations
+
+
+def q_error(true_count: float, estimate: float) -> float:
+    """The q-error of ``estimate`` against ``true_count``.
+
+    >>> q_error(100, 50)
+    2.0
+    >>> q_error(100, 200)
+    2.0
+    >>> q_error(0, 0)
+    1.0
+    """
+    if true_count < 0 or estimate < 0:
+        raise ValueError("counts must be non-negative")
+    c = max(1.0, float(true_count))
+    c_hat = max(1.0, float(estimate))
+    return max(c / c_hat, c_hat / c)
+
+
+def is_underestimate(true_count: float, estimate: float) -> bool:
+    """True when the estimate falls below the (clamped) true count."""
+    return max(1.0, float(estimate)) < max(1.0, float(true_count))
+
+
+def signed_q_error(true_count: float, estimate: float) -> float:
+    """q-error with sign: negative for underestimates (plotted downward in
+    the paper's Figure 13/15), positive for overestimates, ±1 for exact."""
+    qe = q_error(true_count, estimate)
+    if is_underestimate(true_count, estimate):
+        return -qe
+    return qe

@@ -1,0 +1,64 @@
+"""Summary statistics for experiment reporting.
+
+The paper reports per-query means with standard deviations (Table 2),
+average speedups across datasets (geometric means are the fair aggregate
+for ratios), and max/mean q-errors.  These helpers keep that arithmetic in
+one audited place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the right mean for ratios).
+
+    >>> geometric_mean([1.0, 4.0])
+    2.0
+    """
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved``; >1 means ``improved`` is faster."""
+    if improved <= 0 or baseline <= 0:
+        raise ValueError("durations must be positive")
+    return baseline / improved
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Mean/std/min/max of one measurement series."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def format_pm(self, precision: int = 0) -> str:
+        """Paper-style ``mean±std`` rendering (Table 2 cells)."""
+        return f"{self.mean:.{precision}f}±{self.std:.{precision}f}"
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Mean and (population) standard deviation of a series."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return SeriesSummary(
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        n=n,
+    )

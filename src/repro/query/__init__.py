@@ -1,0 +1,20 @@
+"""Query substrate: query graphs, extraction, and matching orders."""
+
+from repro.query.extract import extract_queries, extract_query
+from repro.query.matching_order import (
+    MatchingOrder,
+    gcare_order,
+    quicksi_order,
+    select_best_order,
+)
+from repro.query.query_graph import QueryGraph
+
+__all__ = [
+    "QueryGraph",
+    "extract_query",
+    "extract_queries",
+    "MatchingOrder",
+    "quicksi_order",
+    "gcare_order",
+    "select_best_order",
+]

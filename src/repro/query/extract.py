@@ -1,0 +1,176 @@
+"""Query extraction from data graphs via random walks (paper §6.1).
+
+Queries are extracted exactly as in the paper's evaluation: a random walk on
+the data graph collects ``k`` distinct vertices; the induced (or sparsified)
+subgraph becomes the query, so every extracted query has at least one
+embedding.  For sizes 8 and 16 the paper generates 10 *sparse* queries
+(maximum degree < 3) and 10 *dense* queries per dataset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.csr import CSRGraph
+from repro.query.query_graph import QueryGraph
+from repro.utils.rng import RandomSource, as_generator
+
+
+def _random_walk_vertices(
+    graph: CSRGraph, k: int, rng: np.random.Generator, max_restarts: int = 200
+) -> Optional[List[int]]:
+    """Collect ``k`` distinct vertices reachable by a random walk."""
+    for _ in range(max_restarts):
+        start = int(rng.integers(0, graph.n_vertices))
+        if graph.degree(start) == 0:
+            continue
+        visited: List[int] = [start]
+        member: Set[int] = {start}
+        current = start
+        stalled = 0
+        while len(visited) < k and stalled < 20 * k:
+            nbrs = graph.neighbors_of(current)
+            if len(nbrs) == 0:
+                break
+            nxt = int(nbrs[int(rng.integers(0, len(nbrs)))])
+            if nxt not in member:
+                member.add(nxt)
+                visited.append(nxt)
+                stalled = 0
+            else:
+                stalled += 1
+            current = nxt
+        if len(visited) == k:
+            return visited
+    return None
+
+
+def _sparsify_to_tree_like(
+    vertices: List[int], graph: CSRGraph, rng: np.random.Generator
+) -> List[Tuple[int, int]]:
+    """Keep a connected sub-spanning structure with max degree < 3.
+
+    A sparse query in the paper has max degree below 3, i.e. paths/near-paths.
+    We greedily build a spanning path-forest over the walk vertices using
+    only data-graph edges, then join components with the fewest extra edges.
+    """
+    index = {v: i for i, v in enumerate(vertices)}
+    k = len(vertices)
+    degree = [0] * k
+    parent = list(range(k))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    candidates: List[Tuple[int, int]] = []
+    for i, v in enumerate(vertices):
+        for w in graph.neighbors_of(v):
+            j = index.get(int(w))
+            if j is not None and i < j:
+                candidates.append((i, j))
+    order = rng.permutation(len(candidates))
+    chosen: List[Tuple[int, int]] = []
+    for idx in order:
+        i, j = candidates[int(idx)]
+        if degree[i] >= 2 or degree[j] >= 2:
+            continue
+        ri, rj = find(i), find(j)
+        if ri == rj:
+            continue
+        parent[ri] = rj
+        degree[i] += 1
+        degree[j] += 1
+        chosen.append((i, j))
+        if len(chosen) == k - 1:
+            break
+    return chosen
+
+
+def extract_query(
+    graph: CSRGraph,
+    k: int,
+    rng: RandomSource = None,
+    query_type: str = "dense",
+    name: str = "",
+    max_attempts: int = 400,
+) -> QueryGraph:
+    """Extract one connected ``k``-vertex query of the requested type.
+
+    ``query_type`` is ``"dense"`` (induced subgraph of the walk vertices) or
+    ``"sparse"`` (path-like with max degree < 3).  Raises
+    :class:`~repro.errors.QueryError` when the graph cannot yield such a
+    query within ``max_attempts`` walks.
+    """
+    if k < 2:
+        raise QueryError("queries need at least 2 vertices")
+    if query_type not in ("dense", "sparse"):
+        raise QueryError(f"unknown query type {query_type!r}")
+    gen = as_generator(rng)
+    for _ in range(max_attempts):
+        vertices = _random_walk_vertices(graph, k, gen)
+        if vertices is None:
+            break
+        labels = [graph.label(v) for v in vertices]
+        index = {v: i for i, v in enumerate(vertices)}
+        if query_type == "dense":
+            edges = [
+                (i, index[int(w)])
+                for i, v in enumerate(vertices)
+                for w in graph.neighbors_of(v)
+                if int(w) in index and i < index[int(w)]
+            ]
+        else:
+            edges = _sparsify_to_tree_like(vertices, graph, gen)
+            if len(edges) != k - 1:
+                continue  # could not form a connected degree-<3 structure
+        try:
+            query = QueryGraph.from_edges(labels, edges, name=name or f"q{k}")
+        except QueryError:
+            continue
+        if query_type == "sparse" and not query.is_sparse:
+            continue
+        if query_type == "dense" and k >= 4 and query.is_sparse:
+            continue  # a "dense" query should have some vertex of degree >= 3
+        return query
+    raise QueryError(
+        f"failed to extract a {query_type} {k}-vertex query from {graph.name}"
+    )
+
+
+def extract_queries(
+    graph: CSRGraph,
+    k: int,
+    count: int,
+    rng: RandomSource = None,
+    query_type: str = "mixed",
+    name_prefix: str = "",
+) -> List[QueryGraph]:
+    """Extract ``count`` queries; ``"mixed"`` alternates sparse/dense
+    (half/half, matching the paper's 10+10 per size) for ``k >= 8`` and
+    falls back to dense for 4-vertex queries, as in §6.1.
+    """
+    gen = as_generator(rng)
+    queries: List[QueryGraph] = []
+    for i in range(count):
+        if query_type == "mixed":
+            requested = "sparse" if (k >= 8 and i % 2 == 0) else "dense"
+        else:
+            requested = query_type
+        label = f"{name_prefix or graph.name}-q{k}-{requested}-{i}"
+        try:
+            queries.append(
+                extract_query(graph, k, rng=gen, query_type=requested, name=label)
+            )
+        except QueryError:
+            # Fall back to the other type rather than fail the workload.
+            fallback = "dense" if requested == "sparse" else "sparse"
+            queries.append(
+                extract_query(graph, k, rng=gen, query_type=fallback, name=label)
+            )
+    return queries

@@ -1,0 +1,199 @@
+"""Matching orders (Definition 2) and their precomputed backward structure.
+
+A matching order is a permutation of query vertices such that each vertex
+(after the first) has at least one already-matched neighbour — this keeps
+every partial instance connected, which both RW estimators and enumeration
+rely on.  Two heuristics are provided:
+
+* :func:`quicksi_order` — QuickSI-style: start from the query edge whose
+  endpoint candidate sets are rarest, grow by the most selective connected
+  vertex (paper's default, §6.1).
+* :func:`gcare_order` — G-CARE-style: start from the lowest-selectivity-first
+  BFS used by the G-CARE framework baselines (appendix comparison).
+
+:func:`select_best_order` implements the round-robin pilot-sample evaluation
+the paper describes in the appendix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.csr import CSRGraph
+from repro.query.query_graph import QueryGraph
+from repro.utils.rng import RandomSource, as_generator
+
+
+@dataclass(frozen=True)
+class MatchingOrder:
+    """A matching order plus the derived backward-neighbour structure.
+
+    Attributes:
+        order: permutation of query vertices; ``order[i]`` is matched i-th.
+        position: inverse permutation — ``position[u]`` is when ``u`` matches.
+        backward: ``backward[i]`` lists the *positions* ``j < i`` whose query
+            vertex is adjacent to ``order[i]``; non-empty for all ``i > 0``.
+        method: name of the heuristic that produced the order.
+    """
+
+    order: Tuple[int, ...]
+    position: Tuple[int, ...]
+    backward: Tuple[Tuple[int, ...], ...]
+    method: str = "custom"
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    @classmethod
+    def from_permutation(
+        cls, query: QueryGraph, order: Sequence[int], method: str = "custom"
+    ) -> "MatchingOrder":
+        order_t = tuple(int(u) for u in order)
+        n = query.n_vertices
+        if sorted(order_t) != list(range(n)):
+            raise QueryError(f"order {order_t} is not a permutation of 0..{n - 1}")
+        position = [0] * n
+        for i, u in enumerate(order_t):
+            position[u] = i
+        backward: List[Tuple[int, ...]] = []
+        for i, u in enumerate(order_t):
+            back = tuple(
+                sorted(position[w] for w in query.neighbors(u) if position[w] < i)
+            )
+            if i > 0 and not back:
+                raise QueryError(
+                    f"order {order_t} leaves vertex {u} (pos {i}) disconnected "
+                    "from its prefix"
+                )
+            backward.append(back)
+        return cls(
+            order=order_t,
+            position=tuple(position),
+            backward=tuple(backward),
+            method=method,
+        )
+
+
+def _candidate_frequency(query: QueryGraph, graph: CSRGraph) -> np.ndarray:
+    """Per-query-vertex selectivity: #data vertices with a matching label
+    and sufficient degree (the standard label-degree filter estimate)."""
+    freq = np.zeros(query.n_vertices, dtype=np.float64)
+    degrees = graph.degrees
+    for u in range(query.n_vertices):
+        with_label = graph.vertices_with_label(query.label(u))
+        if len(with_label) == 0:
+            freq[u] = 0.0
+        else:
+            freq[u] = float(np.count_nonzero(degrees[with_label] >= query.degree(u)))
+    return freq
+
+
+def quicksi_order(query: QueryGraph, graph: CSRGraph) -> MatchingOrder:
+    """QuickSI-style order: greedy rarest-first over connected vertices.
+
+    Start from the vertex with the fewest label/degree candidates; repeatedly
+    append the unmatched vertex adjacent to the prefix with the smallest
+    ``frequency / (1 + #backward edges)`` score (infrequent-edge preference).
+    """
+    n = query.n_vertices
+    if n == 0:
+        raise QueryError("cannot order an empty query")
+    freq = _candidate_frequency(query, graph)
+    start = int(np.argmin(freq))
+    order = [start]
+    in_prefix = [False] * n
+    in_prefix[start] = True
+    while len(order) < n:
+        best_u, best_score = -1, float("inf")
+        for u in range(n):
+            if in_prefix[u]:
+                continue
+            back_edges = sum(1 for w in query.neighbors(u) if in_prefix[w])
+            if back_edges == 0:
+                continue
+            score = freq[u] / (1.0 + back_edges)
+            if score < best_score or (score == best_score and u < best_u):
+                best_u, best_score = u, score
+        if best_u < 0:  # pragma: no cover - queries are connected
+            raise QueryError("query became disconnected while ordering")
+        order.append(best_u)
+        in_prefix[best_u] = True
+    return MatchingOrder.from_permutation(query, order, method="quicksi")
+
+
+def gcare_order(query: QueryGraph, graph: CSRGraph) -> MatchingOrder:
+    """G-CARE-style order: BFS from the rarest-label vertex.
+
+    G-CARE's sampling estimators walk a BFS tree of the query; ties are
+    broken by query degree (densest first) then vertex id.
+    """
+    n = query.n_vertices
+    if n == 0:
+        raise QueryError("cannot order an empty query")
+    freq = _candidate_frequency(query, graph)
+    start = int(np.argmin(freq))
+    order = [start]
+    seen = [False] * n
+    seen[start] = True
+    frontier = [start]
+    while frontier:
+        u = frontier.pop(0)
+        nbrs = sorted(
+            (w for w in query.neighbors(u) if not seen[w]),
+            key=lambda w: (-query.degree(w), w),
+        )
+        for w in nbrs:
+            seen[w] = True
+            order.append(w)
+            frontier.append(w)
+    if len(order) != n:  # pragma: no cover - queries are connected
+        raise QueryError("BFS did not reach every query vertex")
+    return MatchingOrder.from_permutation(query, order, method="gcare")
+
+
+def random_valid_order(
+    query: QueryGraph, rng: RandomSource = None
+) -> MatchingOrder:
+    """A uniformly random connected matching order (for order studies)."""
+    gen = as_generator(rng)
+    n = query.n_vertices
+    start = int(gen.integers(0, n))
+    order = [start]
+    in_prefix = [False] * n
+    in_prefix[start] = True
+    while len(order) < n:
+        frontier = [
+            u for u in range(n)
+            if not in_prefix[u] and any(in_prefix[w] for w in query.neighbors(u))
+        ]
+        pick = frontier[int(gen.integers(0, len(frontier)))]
+        order.append(pick)
+        in_prefix[pick] = True
+    return MatchingOrder.from_permutation(query, order, method="random")
+
+
+def select_best_order(
+    query: QueryGraph,
+    graph: CSRGraph,
+    evaluate: Callable[[MatchingOrder], float],
+    extra_candidates: int = 2,
+    rng: RandomSource = None,
+) -> MatchingOrder:
+    """Round-robin order selection (paper appendix).
+
+    Evaluates the QuickSI order, the G-CARE order, and ``extra_candidates``
+    random connected orders with the user-supplied ``evaluate`` callback
+    (lower is better — e.g. pilot-sample estimator variance) and returns the
+    winner.
+    """
+    gen = as_generator(rng)
+    candidates = [quicksi_order(query, graph), gcare_order(query, graph)]
+    for _ in range(extra_candidates):
+        candidates.append(random_valid_order(query, rng=gen))
+    scored = [(evaluate(order), i) for i, order in enumerate(candidates)]
+    scored.sort()
+    return candidates[scored[0][1]]

@@ -1,0 +1,12 @@
+"""Shared utilities: seeded RNG handling and timing helpers."""
+
+from repro.utils.rng import RandomSource, as_generator, spawn_generators
+from repro.utils.timing import Stopwatch, format_ms
+
+__all__ = [
+    "RandomSource",
+    "as_generator",
+    "spawn_generators",
+    "Stopwatch",
+    "format_ms",
+]

@@ -1,0 +1,67 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library (query extraction, dataset
+generation, RW sampling, trawling depth selection) accepts either an integer
+seed or a ``numpy.random.Generator``.  Centralising the coercion here keeps
+experiments reproducible: the benchmark harness passes a single root seed and
+derives independent child streams per (dataset, query, method) triple.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RandomSource = Union[int, np.random.Generator, None]
+
+
+def as_generator(source: RandomSource) -> np.random.Generator:
+    """Coerce ``source`` into a ``numpy.random.Generator``.
+
+    ``None`` yields a fresh non-deterministic generator; an ``int`` seeds a
+    PCG64 stream; an existing generator is returned unchanged.
+    """
+    if isinstance(source, np.random.Generator):
+        return source
+    if source is None:
+        return np.random.default_rng()
+    if isinstance(source, (int, np.integer)):
+        return np.random.default_rng(int(source))
+    raise TypeError(f"cannot build a Generator from {type(source).__name__}")
+
+
+def spawn_generators(source: RandomSource, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses ``SeedSequence.spawn`` so children never collide even when the same
+    root seed is reused across experiment runs.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    root = as_generator(source)
+    seed_seq = root.bit_generator.seed_seq  # type: ignore[attr-defined]
+    if seed_seq is None:  # pragma: no cover - only for exotic bit generators
+        return [np.random.default_rng(root.integers(0, 2**63)) for _ in range(count)]
+    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+
+
+def derive_seed(source: RandomSource, *tokens: object) -> int:
+    """Derive a stable 63-bit seed from a root source and hashable tokens.
+
+    Used by the bench harness to give each (dataset, query, method) cell its
+    own stream while keeping the whole experiment reproducible from one seed.
+    """
+    base: Optional[int]
+    if isinstance(source, (int, np.integer)):
+        base = int(source)
+    else:
+        base = int(as_generator(source).integers(0, 2**63))
+    acc = base & 0x7FFFFFFFFFFFFFFF
+    for token in tokens:
+        # FNV-1a style mixing over the repr; stable across processes because
+        # it avoids PYTHONHASHSEED-dependent hash().
+        for ch in repr(token).encode("utf-8"):
+            acc ^= ch
+            acc = (acc * 0x100000001B3) & 0x7FFFFFFFFFFFFFFF
+    return acc

@@ -1,0 +1,63 @@
+"""Wall-clock timing helpers used by the benchmark harness.
+
+Simulated GPU/CPU time comes from :mod:`repro.gpu.costmodel`; the helpers
+here only measure real host time (candidate-graph construction, enumeration
+budgets in the co-processing pipeline).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+def format_ms(milliseconds: float) -> str:
+    """Human-readable rendering of a millisecond duration."""
+    if milliseconds < 0:
+        raise ValueError("duration must be non-negative")
+    if milliseconds < 1.0:
+        return f"{milliseconds * 1000:.1f}us"
+    if milliseconds < 1000.0:
+        return f"{milliseconds:.1f}ms"
+    return f"{milliseconds / 1000.0:.2f}s"
+
+
+@dataclass
+class Stopwatch:
+    """A restartable stopwatch with named laps.
+
+    >>> sw = Stopwatch()
+    >>> sw.start()
+    >>> _ = sum(range(1000))
+    >>> elapsed = sw.lap("warmup")
+    >>> elapsed >= 0.0
+    True
+    """
+
+    laps: Dict[str, float] = field(default_factory=dict)
+    _started_at: Optional[float] = None
+
+    def start(self) -> "Stopwatch":
+        self._started_at = time.perf_counter()
+        return self
+
+    def lap(self, name: str) -> float:
+        """Record time since ``start`` (or the previous lap) in milliseconds."""
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch.lap() called before start()")
+        now = time.perf_counter()
+        elapsed_ms = (now - self._started_at) * 1000.0
+        self.laps[name] = self.laps.get(name, 0.0) + elapsed_ms
+        self._started_at = now
+        return elapsed_ms
+
+    def elapsed_ms(self) -> float:
+        """Milliseconds since ``start`` without recording a lap."""
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch.elapsed_ms() called before start()")
+        return (time.perf_counter() - self._started_at) * 1000.0
+
+    def total_ms(self) -> float:
+        """Sum of all recorded laps."""
+        return sum(self.laps.values())

@@ -1,0 +1,111 @@
+"""Tests for the benchmark harness: workloads, method runners, reporting."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import METHOD_NAMES, run_method
+from repro.bench.reporting import render_series, render_table, save_results
+from repro.bench.workloads import (
+    LIGHT_FILTER,
+    build_workload,
+    default_workloads,
+)
+from repro.errors import ConfigError
+
+
+class TestWorkloads:
+    def test_build_deterministic_and_cached(self):
+        a = build_workload("yeast", 8, "dense", 0)
+        b = build_workload("yeast", 8, "dense", 0)
+        assert a is b  # cached
+        assert a.query.n_vertices == 8
+        assert a.k == 8 and a.query_type == "dense"
+
+    def test_distinct_indices_distinct_queries(self):
+        a = build_workload("yeast", 8, "dense", 0)
+        b = build_workload("yeast", 8, "dense", 1)
+        assert a.query.edge_set != b.query.edge_set or a.query.labels != b.query.labels
+
+    def test_ground_truth_cached_and_positive(self):
+        w = build_workload("yeast", 4, "dense", 0)
+        t1 = w.ground_truth()
+        t2 = w.ground_truth()
+        assert t1 is t2
+        assert t1.count > 0  # extracted queries always have an embedding
+
+    def test_default_workloads_grid(self):
+        ws = default_workloads(datasets=["yeast", "dblp"], k=8, per_dataset=1)
+        assert len(ws) == 4  # 2 datasets x (dense + sparse)
+        assert {w.dataset for w in ws} == {"yeast", "dblp"}
+
+    def test_four_vertex_queries_dense_only(self):
+        ws = default_workloads(datasets=["yeast"], k=4, per_dataset=2)
+        assert len(ws) == 2
+        assert all(w.query_type == "dense" for w in ws)
+
+    def test_custom_filter_not_cached(self):
+        a = build_workload("yeast", 8, "dense", 0)
+        b = build_workload("yeast", 8, "dense", 0, filter_kwargs=LIGHT_FILTER)
+        assert a is not b
+
+
+class TestRunMethod:
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_all_table2_methods_run(self, method):
+        w = build_workload("yeast", 8, "dense", 0)
+        result = run_method(w, method, sim_samples=256)
+        assert result.method == method
+        assert result.simulated_ms > 0
+        assert result.n_samples >= 256
+
+    def test_ablation_methods_run(self):
+        w = build_workload("yeast", 8, "dense", 0)
+        for method in ("O0-AL", "O1-AL", "O2-AL", "sample-sync-WJ"):
+            result = run_method(w, method, sim_samples=256)
+            assert result.simulated_ms > 0
+
+    def test_unknown_method_rejected(self):
+        w = build_workload("yeast", 8, "dense", 0)
+        with pytest.raises(ConfigError):
+            run_method(w, "TPU-WJ", sim_samples=16)
+        with pytest.raises(ConfigError):
+            run_method(w, "nonsense", sim_samples=16)
+
+    def test_gpu_faster_than_cpu(self):
+        w = build_workload("yeast", 8, "dense", 0)
+        cpu = run_method(w, "CPU-WJ", sim_samples=512)
+        gpu = run_method(w, "GPU-WJ", sim_samples=512)
+        gsword = run_method(w, "gSWORD-WJ", sim_samples=512)
+        assert cpu.simulated_ms > gpu.simulated_ms > gsword.simulated_ms
+
+    def test_seed_salt_varies_stream(self):
+        w = build_workload("yeast", 8, "dense", 0)
+        a = run_method(w, "CPU-WJ", sim_samples=256, seed_salt=0)
+        b = run_method(w, "CPU-WJ", sim_samples=256, seed_salt=1)
+        c = run_method(w, "CPU-WJ", sim_samples=256, seed_salt=0)
+        assert a.estimate == c.estimate
+        # Different salt -> different stream (almost surely different).
+        assert a.estimate != b.estimate or a.n_valid != b.n_valid
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "ms"], [["x", 1.234], ["longer", 10.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "1.23" in text
+
+    def test_render_series(self):
+        text = render_series(
+            "Fig X", "k", [4, 8], {"WJ": [1.0, 2.0], "AL": [3.0, 4.0]}
+        )
+        assert "Fig X" in text and "WJ" in text and "AL" in text
+
+    def test_save_results(self, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path / "res")
+        path = reporting.save_results("unit", {"a": 1})
+        assert path is not None and path.exists()
+        assert json.loads(path.read_text()) == {"a": 1}

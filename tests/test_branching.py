@@ -1,0 +1,83 @@
+"""Tests for the CPU-side branching-Alley extension (§2.2 Remark)."""
+
+import pytest
+
+from repro.bench.workloads import build_workload
+from repro.candidate.candidate_graph import build_candidate_graph
+from repro.enumeration.backtracking import count_embeddings
+from repro.errors import ConfigError
+from repro.estimators.branching import BranchingAlleyRunner
+from repro.graph.datasets import load_dataset
+from repro.query.extract import extract_query
+from repro.query.matching_order import quicksi_order
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    graph = load_dataset("yeast")
+    query = extract_query(graph, 5, rng=8, query_type="dense")
+    cg = build_candidate_graph(graph, query)
+    order = quicksi_order(query, graph)
+    truth = count_embeddings(cg, order).count
+    return cg, order, truth
+
+
+class TestBranchingAlley:
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            BranchingAlleyRunner(branching_factor=0)
+
+    def test_zero_samples_rejected(self, small_workload):
+        cg, order, _ = small_workload
+        with pytest.raises(ConfigError):
+            BranchingAlleyRunner().run(cg, order, 0)
+
+    def test_unbiased_at_b1(self, small_workload):
+        """b=1 degenerates to plain Alley; the estimate converges to truth."""
+        cg, order, truth = small_workload
+        result = BranchingAlleyRunner(branching_factor=1).run(
+            cg, order, 8000, rng=3
+        )
+        assert result.estimate == pytest.approx(truth, rel=0.35)
+        assert result.n_paths == result.n_samples  # no branching, one path each
+
+    def test_unbiased_at_b4(self, small_workload):
+        """Theorem-style check: the recursive branching estimator is
+        unbiased for b > 1 too."""
+        cg, order, truth = small_workload
+        result = BranchingAlleyRunner(branching_factor=4).run(
+            cg, order, 6000, rng=5
+        )
+        assert result.estimate == pytest.approx(truth, rel=0.35)
+
+    def test_branching_explores_more_paths(self):
+        """On a refine-heavy workload (large candidate sets), branching
+        amortises refinement across shared prefixes: more paths per root."""
+        w = build_workload("eu2005", 8, "dense", 0)
+        plain = BranchingAlleyRunner(branching_factor=1).run(
+            w.cg, w.order, 300, rng=1
+        )
+        branched = BranchingAlleyRunner(branching_factor=4).run(
+            w.cg, w.order, 300, rng=1
+        )
+        assert branched.paths_per_sample > plain.paths_per_sample
+        # ... and the cost per path is lower than b=1's (shared refinement).
+        assert (
+            branched.total_cycles / branched.n_paths
+            < plain.total_cycles / plain.n_paths
+        )
+
+    def test_small_sets_do_not_branch(self, small_workload):
+        """The original rule: only branch on refined sets larger than 8."""
+        cg, order, _ = small_workload
+        # yeast q5 candidate sets are tiny: no branching should occur.
+        result = BranchingAlleyRunner(branching_factor=8).run(
+            cg, order, 500, rng=2
+        )
+        assert result.n_paths == result.n_samples
+
+    def test_deterministic(self, small_workload):
+        cg, order, _ = small_workload
+        a = BranchingAlleyRunner(branching_factor=3).run(cg, order, 400, rng=9)
+        b = BranchingAlleyRunner(branching_factor=3).run(cg, order, 400, rng=9)
+        assert a.estimate == b.estimate and a.n_paths == b.n_paths

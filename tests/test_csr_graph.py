@@ -1,0 +1,161 @@
+"""Unit + property tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, from_edge_list
+from repro.graph.csr import CSRGraph, empty_graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = empty_graph(3)
+        assert g.n_vertices == 3
+        assert g.n_edges == 0
+        assert g.avg_degree == 0.0
+        g.validate()
+
+    def test_single_edge(self):
+        g = from_edge_list([(0, 1)], labels=[5, 7])
+        assert g.n_edges == 1
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.label(0) == 5 and g.label(1) == 7
+
+    def test_duplicate_edges_collapse(self):
+        g = from_edge_list([(0, 1), (1, 0), (0, 1)], n_vertices=2)
+        assert g.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list([(1, 1)], n_vertices=2)
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list([(0, 5)], n_vertices=2)
+
+    def test_labels_length_mismatch(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(3, labels=[0, 1])
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2, labels=[0, -1])
+
+    def test_n_vertices_inferred(self):
+        g = from_edge_list([(0, 4)])
+        assert g.n_vertices == 5
+
+
+class TestAccessors:
+    def test_degrees(self, triangle_graph):
+        assert triangle_graph.degree(1) == 3
+        assert list(triangle_graph.degrees) == [2, 3, 3, 2]
+        assert triangle_graph.max_degree == 3
+
+    def test_neighbors_sorted(self, triangle_graph):
+        for v in range(triangle_graph.n_vertices):
+            adj = triangle_graph.neighbors_of(v)
+            assert list(adj) == sorted(adj)
+
+    def test_has_edge_negative(self, triangle_graph):
+        assert not triangle_graph.has_edge(0, 3)
+
+    def test_edges_iteration_unique(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == triangle_graph.n_edges
+        assert all(u < v for u, v in edges)
+
+    def test_vertices_with_label(self):
+        g = from_edge_list([(0, 1), (1, 2)], labels=[1, 0, 1])
+        assert list(g.vertices_with_label(1)) == [0, 2]
+        assert list(g.vertices_with_label(0)) == [1]
+        # Cached second call returns the same result.
+        assert list(g.vertices_with_label(1)) == [0, 2]
+
+    def test_label_histogram(self):
+        g = from_edge_list([(0, 1)], labels=[0, 2])
+        assert list(g.label_histogram()) == [1, 0, 1]
+
+    def test_is_connected(self, triangle_graph):
+        assert triangle_graph.is_connected()
+        g = from_edge_list([(0, 1)], n_vertices=3)
+        assert not g.is_connected()
+
+    def test_induced_subgraph(self, triangle_graph):
+        sub = triangle_graph.subgraph_induced([1, 2, 3])
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 3  # the (1,2,3) triangle
+        sub.validate()
+
+    def test_induced_subgraph_duplicates_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.subgraph_induced([1, 1])
+
+
+class TestValidation:
+    def test_validate_catches_asymmetry(self):
+        g = CSRGraph(
+            offsets=np.array([0, 1, 1], dtype=np.int64),
+            neighbors=np.array([1], dtype=np.int32),
+            labels=np.zeros(2, dtype=np.int32),
+        )
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                offsets=np.array([0, 2, 1], dtype=np.int64),
+                neighbors=np.array([1, 0], dtype=np.int32),
+                labels=np.zeros(2, dtype=np.int32),
+            )
+
+    def test_offsets_must_close(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                offsets=np.array([0, 1, 1], dtype=np.int64),
+                neighbors=np.array([1, 0], dtype=np.int32),
+                labels=np.zeros(2, dtype=np.int32),
+            )
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    n_edges = draw(st.integers(min_value=0, max_value=40))
+    edges = [
+        (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+        for _ in range(n_edges)
+    ]
+    edges = [(u, v) for u, v in edges if u != v]
+    return n, edges
+
+
+class TestProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_builder_invariants(self, data):
+        n, edges = data
+        g = from_edge_list(edges, n_vertices=n)
+        g.validate()
+        # Edge membership matches input set.
+        expected = {(min(u, v), max(u, v)) for u, v in edges}
+        assert g.n_edges == len(expected)
+        for u, v in expected:
+            assert g.has_edge(u, v) and g.has_edge(v, u)
+        # Handshake lemma.
+        assert int(g.degrees.sum()) == 2 * g.n_edges
+
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_has_edge_agrees_with_adjacency(self, data):
+        n, edges = data
+        g = from_edge_list(edges, n_vertices=n)
+        for u in range(n):
+            nbrs = set(int(w) for w in g.neighbors_of(u))
+            for v in range(n):
+                assert g.has_edge(u, v) == (v in nbrs)

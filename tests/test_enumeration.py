@@ -1,0 +1,149 @@
+"""Tests for exact backtracking enumeration (ground truth + trawling)."""
+
+import itertools
+
+import pytest
+
+from repro.candidate.candidate_graph import build_candidate_graph
+from repro.enumeration.backtracking import (
+    count_embeddings,
+    count_extensions,
+    enumerate_embeddings,
+)
+from repro.graph.builder import from_edge_list
+from repro.graph.datasets import load_dataset
+from repro.query.extract import extract_query
+from repro.query.matching_order import MatchingOrder, quicksi_order
+from repro.query.query_graph import QueryGraph, clique_query, path_query
+
+
+def brute_force_count(graph, query):
+    """Reference counter: try every injective vertex assignment."""
+    n, k = graph.n_vertices, query.n_vertices
+    count = 0
+    for mapping in itertools.permutations(range(n), k):
+        if query.is_isomorphic_mapping(graph.labels, mapping, graph.has_edge):
+            count += 1
+    return count
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("query_builder", [
+        lambda: path_query([0, 0, 0]),
+        lambda: clique_query([0, 0, 0]),
+        lambda: QueryGraph.from_edges([0, 0, 0, 0], [(0, 1), (1, 2), (2, 3), (0, 3)]),
+    ])
+    def test_small_graph_counts(self, triangle_graph, query_builder):
+        query = query_builder()
+        cg = build_candidate_graph(triangle_graph, query)
+        order = quicksi_order(query, triangle_graph)
+        expected = brute_force_count(triangle_graph, query)
+        result = count_embeddings(cg, order)
+        assert result.complete
+        assert result.count == expected
+
+    def test_labelled_counts(self):
+        graph = from_edge_list(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+            labels=[0, 1, 0, 1],
+        )
+        query = path_query([0, 1, 0])
+        cg = build_candidate_graph(graph, query)
+        order = quicksi_order(query, graph)
+        assert count_embeddings(cg, order).count == brute_force_count(graph, query)
+
+    def test_paper_figure2_unique_instance(self, paper_workload):
+        """The paper states q has exactly one *instance* (subgraph) in
+        Figure 2: {v1, v3, v4, v7, v8}.  Embeddings count mappings, so the
+        symmetric u2/u3 assignment doubles it — both views are asserted."""
+        graph, query, cg, order = paper_workload
+        result = count_embeddings(cg, order)
+        assert result.complete
+        embeddings = list(enumerate_embeddings(cg, order))
+        assert result.count == len(embeddings)
+        vertex_sets = {frozenset(e) for e in embeddings}
+        # v1, v3, v4, v7, v8 -> ids 0, 2, 3, 6, 7.
+        assert vertex_sets == {frozenset({0, 2, 3, 6, 7})}
+
+
+class TestOrderInvariance:
+    def test_count_independent_of_order(self):
+        graph = load_dataset("yeast")
+        query = extract_query(graph, 5, rng=2, query_type="dense")
+        cg = build_candidate_graph(graph, query)
+        counts = set()
+        from repro.query.matching_order import gcare_order, random_valid_order
+
+        for order in (
+            quicksi_order(query, graph),
+            gcare_order(query, graph),
+            random_valid_order(query, rng=0),
+            random_valid_order(query, rng=1),
+        ):
+            counts.add(count_embeddings(cg, order).count)
+        assert len(counts) == 1
+
+
+class TestBudgets:
+    def test_max_count_stops_early(self, paper_workload):
+        graph, query, cg, order = paper_workload
+        result = count_embeddings(cg, order, max_count=1)
+        assert result.count == 1
+        assert not result.complete
+
+    def test_max_nodes_stops_early(self):
+        graph = load_dataset("yeast")
+        query = extract_query(graph, 6, rng=5, query_type="dense")
+        cg = build_candidate_graph(graph, query, use_nlf=False, refine_passes=0)
+        order = quicksi_order(query, graph)
+        result = count_embeddings(cg, order, max_nodes=5)
+        assert not result.complete
+        assert result.nodes_visited <= 6
+
+    def test_deadline_stops(self):
+        graph = load_dataset("eu2005")
+        query = extract_query(graph, 16, rng=1, query_type="dense")
+        cg = build_candidate_graph(graph, query, use_nlf=False, refine_passes=0)
+        order = quicksi_order(query, graph)
+        result = count_embeddings(cg, order, deadline_s=0.05)
+        # With such a tight deadline on a heavy workload the search is cut.
+        assert result.elapsed_ms < 3000
+
+
+class TestExtensions:
+    def test_full_partial_counts_one(self, paper_workload):
+        graph, query, cg, order = paper_workload
+        instance = next(iter(enumerate_embeddings(cg, order)))
+        by_position = [instance[u] for u in order.order]
+        result = count_extensions(cg, order, by_position)
+        assert result.count == 1 and result.complete
+
+    def test_extension_counts_sum_to_total(self):
+        """Σ over depth-d partial instances of their extension counts equals
+        the total embedding count — the identity trawling relies on."""
+        graph = load_dataset("yeast")
+        query = extract_query(graph, 5, rng=4, query_type="dense")
+        cg = build_candidate_graph(graph, query)
+        order = quicksi_order(query, graph)
+        total = count_embeddings(cg, order).count
+        # Enumerate all depth-2 partial instances by brute force over
+        # candidate pairs, then sum extensions.
+        u0, u1 = order.order[0], order.order[1]
+        summed = 0
+        for v0 in cg.global_candidates[u0]:
+            eid = cg.edge_id(u0, u1)
+            for v1 in cg.local_candidates(eid, int(v0)):
+                if int(v1) == int(v0):
+                    continue
+                summed += count_extensions(cg, order, [int(v0), int(v1)]).count
+        assert summed == total
+
+    def test_duplicate_partial_extends_to_nothing(self, paper_workload):
+        _, _, cg, order = paper_workload
+        result = count_extensions(cg, order, [0, 0])
+        assert result.count == 0 and result.complete
+
+    def test_partial_longer_than_order_rejected(self, paper_workload):
+        _, _, cg, order = paper_workload
+        with pytest.raises(ValueError):
+            count_embeddings(cg, order, partial=[0] * 10)

@@ -1,0 +1,184 @@
+"""Tests for the RSV abstraction, WanderJoin, and Alley kernels."""
+
+import numpy as np
+import pytest
+
+from repro.candidate.candidate_graph import build_candidate_graph
+from repro.enumeration.backtracking import count_embeddings
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.base import SampleState, StepContext, get_min_candidate
+from repro.estimators.wanderjoin import WanderJoinEstimator
+from repro.graph.datasets import load_dataset
+from repro.query.extract import extract_query
+from repro.query.matching_order import quicksi_order
+
+
+class TestSampleState:
+    def test_fresh(self):
+        s = SampleState.fresh(4)
+        assert s.depth == 0 and s.prob == 1.0
+        assert s.instance == [-1, -1, -1, -1]
+
+    def test_push_updates(self):
+        s = SampleState.fresh(3)
+        s.push(7, 0.5)
+        s.push(9, 0.25)
+        assert s.depth == 2
+        assert s.instance[:2] == [7, 9]
+        assert s.prob == pytest.approx(0.125)
+        assert s.ht_value == pytest.approx(8.0)
+
+    def test_contains_checks_prefix_only(self):
+        s = SampleState.fresh(3)
+        s.instance = [5, 9, 9]
+        s.depth = 2
+        assert s.contains(5) and s.contains(9)
+        s.depth = 1
+        assert not s.contains(9)
+
+    def test_copy_is_deep_enough(self):
+        s = SampleState.fresh(2)
+        c = s.copy()
+        c.push(3, 0.5)
+        assert s.depth == 0 and s.instance[0] == -1
+
+    def test_zero_prob_rejected(self):
+        s = SampleState.fresh(1)
+        s.prob = 0.0
+        with pytest.raises(ValueError):
+            s.ht_value
+
+
+class TestGetMinCandidate:
+    def test_depth_zero_returns_global(self, paper_workload):
+        _, query, cg, order = paper_workload
+        state = SampleState.fresh(query.n_vertices)
+        cand, eid, span, others = get_min_candidate(
+            StepContext(cg, order, 0), state
+        )
+        assert eid == -1 and others == []
+        assert list(cand) == list(cg.global_candidates[order.order[0]])
+
+    def test_picks_smallest_backward(self, paper_workload):
+        _, query, cg, order = paper_workload
+        rng = np.random.default_rng(0)
+        est = WanderJoinEstimator()
+        state = SampleState.fresh(query.n_vertices)
+        # Walk two steps, then verify min property at the third.
+        for d in range(2):
+            out = est.run_iteration(StepContext(cg, order, d), state, rng)
+            if not out.valid:
+                return  # unlucky walk; property tested statistically below
+        ctx = StepContext(cg, order, 2)
+        cand, eid, span, others = get_min_candidate(ctx, state)
+        u = order.order[2]
+        for j in order.backward[2]:
+            u_b = order.order[j]
+            other_eid = cg.edge_id(u_b, u)
+            local = cg.local_candidates(other_eid, state.instance[j])
+            assert len(cand) <= len(local)
+
+
+class TestWanderJoin:
+    def test_refine_is_passthrough(self, paper_workload, rng):
+        _, query, cg, order = paper_workload
+        est = WanderJoinEstimator()
+        state = SampleState.fresh(query.n_vertices)
+        cand = np.array([1, 2, 3])
+        refined, probes = est.refine(
+            StepContext(cg, order, 1), state, cand, []
+        )
+        assert refined is cand and probes == 0
+
+    def test_validate_rejects_duplicates(self, paper_workload, rng):
+        _, query, cg, order = paper_workload
+        est = WanderJoinEstimator()
+        state = SampleState.fresh(query.n_vertices)
+        state.push(0, 1.0)
+        valid, _ = est.validate(
+            StepContext(cg, order, 1), state, 0, 0.5, []
+        )
+        assert not valid
+
+    def test_probability_is_product_of_set_sizes(self, paper_workload, rng):
+        _, query, cg, order = paper_workload
+        est = WanderJoinEstimator()
+        for _ in range(50):
+            state, ok = est.run_sample(cg, order, rng)
+            if ok:
+                # prob is a product of 1/|C_i| factors: positive, <= 1.
+                assert 0 < state.prob <= 1.0
+                assert state.depth == query.n_vertices
+                # The completed instance is injective.
+                assert len(set(state.instance)) == query.n_vertices
+
+
+class TestAlley:
+    def test_refined_vertices_extend_validly(self, paper_workload, rng):
+        """Alley's guarantee: every refined candidate yields a valid partial
+        instance (modulo the duplicate check)."""
+        graph, query, cg, order = paper_workload
+        est = AlleyEstimator()
+        for _ in range(30):
+            state = SampleState.fresh(query.n_vertices)
+            for d in range(query.n_vertices):
+                ctx = StepContext(cg, order, d)
+                cand, eid, span, others = get_min_candidate(ctx, state)
+                refined, _ = est.refine(ctx, state, cand, others)
+                u = order.order[d]
+                for v in refined:
+                    for j in order.backward[d]:
+                        assert graph.has_edge(state.instance[j], int(v))
+                out = est.run_iteration(ctx, state, rng)
+                if not out.valid:
+                    break
+
+    def test_refine_subset_of_cand(self, paper_workload, rng):
+        _, query, cg, order = paper_workload
+        est = AlleyEstimator()
+        state = SampleState.fresh(query.n_vertices)
+        for d in range(query.n_vertices):
+            ctx = StepContext(cg, order, d)
+            cand, eid, span, others = get_min_candidate(ctx, state)
+            refined, _ = est.refine(ctx, state, cand, others)
+            assert set(int(x) for x in refined) <= set(int(x) for x in cand)
+            out = est.run_iteration(ctx, state, rng)
+            if not out.valid:
+                break
+
+    def test_candidate_passes_agrees_with_refine(self, paper_workload, rng):
+        _, query, cg, order = paper_workload
+        est = AlleyEstimator()
+        state = SampleState.fresh(query.n_vertices)
+        est.run_iteration(StepContext(cg, order, 0), state, rng)
+        est.run_iteration(StepContext(cg, order, 1), state, rng)
+        if state.depth < 2:
+            pytest.skip("walk died early for this seed")
+        ctx = StepContext(cg, order, 2)
+        cand, eid, span, others = get_min_candidate(ctx, state)
+        refined, _ = est.refine(ctx, state, cand, others)
+        refined_set = set(int(x) for x in refined)
+        for v in cand:
+            ok, _ = est.candidate_passes(ctx, state, int(v), others)
+            assert ok == (int(v) in refined_set)
+
+
+class TestEstimatorsAgree:
+    def test_wj_and_alley_same_support(self, rng):
+        """Both estimators must converge to the true count; Alley with
+        smaller variance (its sample space is a subset, Fig. 3)."""
+        graph = load_dataset("yeast")
+        query = extract_query(graph, 5, rng=8, query_type="dense")
+        cg = build_candidate_graph(graph, query)
+        order = quicksi_order(query, graph)
+        truth = count_embeddings(cg, order).count
+        assert truth > 0
+
+        from repro.estimators.cpu_runner import CPUSamplingRunner
+
+        wj = CPUSamplingRunner(WanderJoinEstimator()).run(cg, order, 20000, rng=1)
+        al = CPUSamplingRunner(AlleyEstimator()).run(cg, order, 20000, rng=1)
+        assert wj.estimate == pytest.approx(truth, rel=0.35)
+        assert al.estimate == pytest.approx(truth, rel=0.35)
+        # Alley's refinement yields at least as many valid samples.
+        assert al.n_valid >= wj.n_valid

@@ -1,0 +1,221 @@
+"""Tests for the SIMT simulator substrate: primitives, memory, profiler,
+device timing, cost-model validation."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.gpu.costmodel import CPUSpec, GPUSpec
+from repro.gpu.device import DeviceModel
+from repro.gpu.memory import (
+    WarpMemoryTracker,
+    dependent_chain_cost,
+    scan_segments,
+    warp_instruction_cost,
+)
+from repro.gpu.primitives import (
+    ballot_first,
+    ballot_mask,
+    reduce_max_by_key,
+    reduce_sum,
+    shfl,
+    warp_any,
+)
+from repro.gpu.profiler import KernelProfile, WarpProfile
+
+
+class TestPrimitives:
+    def test_any(self):
+        assert warp_any([False, True, False])
+        assert not warp_any([False, False])
+        assert not warp_any([])
+
+    def test_ballot_first(self):
+        assert ballot_first([False, True, True]) == 1
+        assert ballot_first([False, False]) == -1
+
+    def test_ballot_mask(self):
+        assert ballot_mask([True, False, True]) == 0b101
+
+    def test_shfl(self):
+        assert shfl([10, 20, 30], 2) == 30
+        with pytest.raises(SimulationError):
+            shfl([1, 2], 5)
+
+    def test_reduce_sum(self):
+        assert reduce_sum([1.0, 2.0, 3.5]) == pytest.approx(6.5)
+
+    def test_reduce_max_by_key(self):
+        key, payload, lane = reduce_max_by_key([0.1, 0.9, 0.5], ["a", "b", "c"])
+        assert (key, payload, lane) == (0.9, "b", 1)
+
+    def test_reduce_max_tie_breaks_low_lane(self):
+        _, payload, lane = reduce_max_by_key([0.5, 0.5], ["a", "b"])
+        assert payload == "a" and lane == 0
+
+    def test_reduce_max_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            reduce_max_by_key([], [])
+
+    def test_primitives_charge_sync(self):
+        spec, profile = GPUSpec(), WarpProfile()
+        warp_any([True], profile, spec)
+        ballot_first([True], profile, spec)
+        shfl([1], 0, profile, spec)
+        assert profile.sync_cycles == 3 * spec.sync_cycles
+
+
+class TestMemoryModel:
+    def test_scan_segments(self):
+        spec = GPUSpec()
+        assert scan_segments(spec, 0, 0) == 0
+        assert scan_segments(spec, 0, 1) == 1
+        assert scan_segments(spec, 0, spec.segment_elements) == 1
+        assert scan_segments(spec, 0, spec.segment_elements + 1) == 2
+        # Unaligned start straddles a boundary.
+        assert scan_segments(spec, spec.segment_elements - 1, 2) == 2
+
+    def test_warp_instruction_cost_monotonic(self):
+        spec = GPUSpec()
+        assert warp_instruction_cost(spec, 0) == 0.0
+        assert warp_instruction_cost(spec, 1) < warp_instruction_cost(spec, 32)
+        assert warp_instruction_cost(spec, 1, 0) < warp_instruction_cost(spec, 1, 3)
+
+    def test_dependent_chain_cost_linear(self):
+        spec = GPUSpec()
+        assert dependent_chain_cost(spec, 0) == 0.0
+        assert dependent_chain_cost(spec, 10) == pytest.approx(
+            10 * (spec.mem_latency_cycles + spec.issue_cycles)
+        )
+
+    def test_tracker_coalesces_across_lanes(self):
+        """32 lanes reading the same block cost one set of segments."""
+        spec = GPUSpec()
+        shared, scattered = WarpMemoryTracker(spec), WarpMemoryTracker(spec)
+        for lane in range(32):
+            shared.contiguous(0, region=1, start=0, length=16)
+            scattered.contiguous(0, region=1, start=lane * 1000, length=16)
+        p_shared, p_scattered = WarpProfile(), WarpProfile()
+        cost_shared = shared.commit(p_shared)
+        cost_scattered = scattered.commit(p_scattered)
+        assert cost_shared < cost_scattered
+        assert p_shared.mem_segments < p_scattered.mem_segments
+
+    def test_tracker_region_penalty(self):
+        spec = GPUSpec()
+        one_region, many_regions = WarpMemoryTracker(spec), WarpMemoryTracker(spec)
+        for lane in range(8):
+            one_region.touch(2, region=0, position=lane * 64)
+            many_regions.touch(2, region=lane, position=lane * 64)
+        c1 = one_region.commit(WarpProfile())
+        c2 = many_regions.commit(WarpProfile())
+        assert c2 - c1 == pytest.approx(7 * spec.region_miss_cycles)
+
+    def test_tracker_resets_after_commit(self):
+        tracker = WarpMemoryTracker(GPUSpec())
+        tracker.contiguous(0, 0, 0, 100)
+        tracker.commit(WarpProfile())
+        assert tracker.pending_segments == 0
+        assert tracker.commit(WarpProfile()) == 0.0
+
+
+class TestProfiler:
+    def test_lockstep_charges_slowest_lane(self):
+        p = WarpProfile()
+        p.charge_lockstep([10.0, 4.0, 0.0])
+        assert p.compute_cycles == 10.0
+
+    def test_charge_idle_wait(self):
+        p = WarpProfile()
+        p.charge_idle_wait(100.0, busy=24, total=32)
+        assert p.stall_wait == pytest.approx(800.0)
+        p.charge_idle_wait(100.0, busy=32, total=32)
+        assert p.stall_wait == pytest.approx(800.0)
+
+    def test_warp_efficiency(self):
+        p = WarpProfile()
+        p.note_lanes(busy=16, total=32)
+        p.note_lanes(busy=32, total=32)
+        assert p.warp_efficiency == pytest.approx(0.75)
+
+    def test_merge_accumulates(self):
+        a, b = WarpProfile(), WarpProfile()
+        a.charge_compute(5)
+        b.charge_compute(7)
+        b.charge_memory(11, 2, 1)
+        a.merge(b)
+        assert a.compute_cycles == 12
+        assert a.mem_cycles == 11 and a.stall_long == 11
+        assert a.mem_segments == 2 and a.region_misses == 1
+
+    def test_kernel_profile_aggregation(self):
+        kernel = KernelProfile()
+        w = WarpProfile()
+        w.charge_compute(100)
+        kernel.add_warp(w, samples=32, valid=4)
+        assert kernel.n_warps == 1
+        assert kernel.valid_ratio == pytest.approx(4 / 32)
+        assert kernel.total_cycles == 100
+
+
+class TestDeviceModel:
+    def test_small_launch_bounded_by_longest_warp(self):
+        spec = GPUSpec()
+        device = DeviceModel(spec)
+        kernel = KernelProfile()
+        w = WarpProfile()
+        w.charge_compute(1000.0)
+        kernel.add_warp(w, samples=32, valid=0)
+        ms = device.kernel_ms(kernel, longest_warp_cycles=1000.0)
+        assert ms >= spec.launch_overhead_ms + spec.cycles_to_ms(1000.0)
+
+    def test_saturated_launch_divides_by_residency(self):
+        spec = GPUSpec()
+        device = DeviceModel(spec)
+        kernel = KernelProfile()
+        for _ in range(spec.resident_warps * 2):
+            w = WarpProfile()
+            w.charge_compute(1000.0)
+            kernel.add_warp(w, samples=32, valid=0)
+        ms = device.kernel_ms(kernel)
+        expected = spec.launch_overhead_ms + spec.cycles_to_ms(
+            kernel.total_cycles / spec.resident_warps
+        )
+        assert ms == pytest.approx(expected)
+
+    def test_empty_kernel_costs_launch_only(self):
+        device = DeviceModel()
+        assert device.kernel_ms(KernelProfile()) == device.spec.launch_overhead_ms
+
+    def test_scale_to_samples(self):
+        spec = GPUSpec()
+        device = DeviceModel(spec)
+        scaled = device.scale_to_samples(
+            spec.launch_overhead_ms + 1.0, measured_samples=100, target_samples=1000
+        )
+        assert scaled == pytest.approx(spec.launch_overhead_ms + 10.0)
+        with pytest.raises(ConfigError):
+            device.scale_to_samples(1.0, 0, 10)
+
+
+class TestSpecValidation:
+    def test_gpu_spec_rejects_bad_warp_size(self):
+        with pytest.raises(ConfigError):
+            GPUSpec(warp_size=33)
+
+    def test_gpu_spec_rejects_bad_clock(self):
+        with pytest.raises(ConfigError):
+            GPUSpec(clock_ghz=0)
+
+    def test_cpu_spec_rejects_bad_threads(self):
+        with pytest.raises(ConfigError):
+            CPUSpec(threads=0)
+
+    def test_cpu_thread_clamping(self):
+        spec = CPUSpec(threads=12)
+        # Requesting more workers than cores clamps to the core count.
+        assert spec.cycles_to_ms(1200, threads=50) == spec.cycles_to_ms(1200, 12)
+        assert spec.cycles_to_ms(1200, threads=1) > spec.cycles_to_ms(1200, 12)
+
+    def test_resident_warps(self):
+        spec = GPUSpec(sm_count=10, resident_warps_per_sm=4)
+        assert spec.resident_warps == 40

@@ -1,0 +1,65 @@
+"""Round-trip and error tests for graph serialisation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_list
+from repro.graph.io import dump_graph, dumps_graph, load_graph, loads_graph
+
+
+def test_roundtrip_string(triangle_graph):
+    text = dumps_graph(triangle_graph)
+    back = loads_graph(text)
+    assert back.n_vertices == triangle_graph.n_vertices
+    assert back.n_edges == triangle_graph.n_edges
+    assert list(back.labels) == list(triangle_graph.labels)
+    assert sorted(back.edges()) == sorted(triangle_graph.edges())
+
+
+def test_roundtrip_file(tmp_path, paper_graph):
+    path = tmp_path / "g.graph"
+    dump_graph(paper_graph, path)
+    back = load_graph(path)
+    assert sorted(back.edges()) == sorted(paper_graph.edges())
+    assert back.name == "g"
+
+
+def test_labels_preserved():
+    g = from_edge_list([(0, 1), (1, 2)], labels=[3, 1, 4])
+    assert list(loads_graph(dumps_graph(g)).labels) == [3, 1, 4]
+
+
+def test_comments_and_blanks_ignored():
+    text = "# comment\n\nt 2 1\nv 0 0 1\nv 1 0 1\ne 0 1\n"
+    g = loads_graph(text)
+    assert g.n_edges == 1
+
+
+def test_missing_header_rejected():
+    with pytest.raises(GraphError):
+        loads_graph("v 0 0 1\n")
+
+
+def test_vertex_before_header_rejected():
+    with pytest.raises(GraphError):
+        loads_graph("v 0 0 1\nt 1 0\n")
+
+
+def test_edge_count_mismatch_rejected():
+    with pytest.raises(GraphError):
+        loads_graph("t 2 5\nv 0 0 1\nv 1 0 1\ne 0 1\n")
+
+
+def test_unknown_record_rejected():
+    with pytest.raises(GraphError):
+        loads_graph("t 1 0\nx nonsense\n")
+
+
+def test_malformed_vertex_rejected():
+    with pytest.raises(GraphError):
+        loads_graph("t 1 0\nv 0\n")
+
+
+def test_vertex_id_out_of_range_rejected():
+    with pytest.raises(GraphError):
+        loads_graph("t 1 0\nv 5 0 0\n")

@@ -1,0 +1,94 @@
+"""Tests for the Horvitz-Thompson accumulator (streaming moments + merge)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.ht import HTAccumulator
+
+
+class TestBasics:
+    def test_empty(self):
+        acc = HTAccumulator()
+        assert acc.estimate == 0.0
+        assert acc.variance == 0.0
+        assert acc.valid_ratio == 0.0
+
+    def test_paper_example2(self):
+        """Example 2: one invalid + one valid sample with weight 24 -> 12."""
+        acc = HTAccumulator()
+        acc.add(0.0)
+        acc.add(24.0)
+        assert acc.estimate == pytest.approx(12.0)
+        assert acc.n == 2 and acc.n_valid == 1
+        assert acc.valid_ratio == pytest.approx(0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HTAccumulator().add(-1.0)
+
+    def test_add_invalid_bulk(self):
+        acc = HTAccumulator()
+        acc.add(10.0)
+        acc.add_invalid(9)
+        assert acc.n == 10
+        assert acc.estimate == pytest.approx(1.0)
+
+    def test_variance_matches_numpy(self):
+        values = [0.0, 3.0, 7.5, 0.0, 12.0, 1.0]
+        acc = HTAccumulator()
+        for v in values:
+            acc.add(v)
+        assert acc.estimate == pytest.approx(np.mean(values))
+        assert acc.variance == pytest.approx(np.var(values, ddof=1))
+        assert acc.std_error == pytest.approx(
+            math.sqrt(np.var(values, ddof=1) / len(values))
+        )
+
+
+class TestMerge:
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=0, max_size=30),
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=0, max_size=30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_merge_equals_sequential(self, left, right):
+        """Parallel reduction must agree with a single-stream accumulator."""
+        a, b, c = HTAccumulator(), HTAccumulator(), HTAccumulator()
+        for v in left:
+            a.add(v)
+            c.add(v)
+        for v in right:
+            b.add(v)
+            c.add(v)
+        a.merge(b)
+        assert a.n == c.n and a.n_valid == c.n_valid
+        if c.n:
+            assert a.estimate == pytest.approx(c.estimate, rel=1e-9, abs=1e-9)
+            assert a.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-6)
+
+    def test_merge_into_empty(self):
+        a, b = HTAccumulator(), HTAccumulator()
+        b.add(5.0)
+        a.merge(b)
+        assert a.estimate == 5.0 and a.n == 1
+
+    def test_merge_empty_is_noop(self):
+        a = HTAccumulator()
+        a.add(3.0)
+        a.merge(HTAccumulator())
+        assert a.n == 1 and a.estimate == 3.0
+
+
+class TestScaledCopy:
+    def test_scaling(self):
+        acc = HTAccumulator()
+        acc.add(2.0)
+        acc.add(4.0)
+        scaled = acc.scaled_copy(10.0)
+        assert scaled.estimate == pytest.approx(30.0)
+        assert scaled.variance == pytest.approx(acc.variance * 100.0)
+        assert scaled.n == acc.n

@@ -1,0 +1,148 @@
+"""Tests for sample inheritance (Alg. 2) and the recursive estimator
+(Theorem 1), including the worked example from the module docstring."""
+
+import numpy as np
+import pytest
+
+from repro.candidate.candidate_graph import build_candidate_graph
+from repro.core.config import EngineConfig
+from repro.core.engine import GSWORDEngine
+from repro.core.inheritance import apply_inheritance
+from repro.enumeration.backtracking import count_embeddings
+from repro.estimators.base import SampleState
+from repro.estimators.wanderjoin import WanderJoinEstimator
+from repro.graph.builder import from_edge_list
+from repro.graph.datasets import load_dataset
+from repro.gpu.costmodel import GPUSpec
+from repro.gpu.profiler import WarpProfile
+from repro.query.extract import extract_query
+from repro.query.matching_order import quicksi_order
+from repro.query.query_graph import QueryGraph
+
+
+def _state(instance, prob, depth):
+    s = SampleState.fresh(len(instance))
+    s.instance = list(instance)
+    s.prob = prob
+    s.depth = depth
+    return s
+
+
+class TestApplyInheritance:
+    def test_no_valid_lane_breaks_all(self):
+        lanes = [_state([1, -1], 0.5, 1), _state([2, -1], 0.5, 1)]
+        running, inherited = apply_inheritance(
+            lanes, valid=[False, False], active=[True, True]
+        )
+        assert running == [False, False] and inherited == 0
+
+    def test_all_valid_no_inheritance(self):
+        lanes = [_state([1, -1], 0.5, 1), _state([2, -1], 0.5, 1)]
+        running, inherited = apply_inheritance(
+            lanes, valid=[True, True], active=[True, True]
+        )
+        assert running == [True, True] and inherited == 0
+        assert lanes[0].prob == 0.5  # untouched
+
+    def test_single_parent_shares_state(self):
+        parent = _state([7, 8], 0.25, 2)
+        dead = _state([9, -1], 0.5, 1)
+        lanes = [parent, dead]
+        running, inherited = apply_inheritance(
+            lanes, valid=[True, False], active=[True, True]
+        )
+        assert running == [True, True] and inherited == 1
+        # Parent prob multiplied by (idle + 1) = 2; copy shares everything.
+        assert lanes[0].prob == pytest.approx(0.5)
+        assert lanes[1].instance == [7, 8] and lanes[1].depth == 2
+        assert lanes[1].prob == pytest.approx(0.5)
+        # The copy is independent state, not an alias.
+        lanes[1].instance[0] = 99
+        assert lanes[0].instance[0] == 7
+
+    def test_inactive_lanes_never_inherit(self):
+        parent = _state([7, -1], 0.5, 1)
+        inactive = _state([-1, -1], 1.0, 0)
+        lanes = [parent, inactive]
+        running, inherited = apply_inheritance(
+            lanes, valid=[True, False], active=[True, False]
+        )
+        assert running == [True, False] and inherited == 0
+        assert lanes[0].prob == 0.5  # no idle participants -> no adjustment
+
+    def test_multiple_idle_split_weight(self):
+        parent = _state([7, -1], 0.5, 1)
+        lanes = [parent, _state([1, -1], 0.1, 1), _state([2, -1], 0.1, 1)]
+        running, inherited = apply_inheritance(
+            lanes, valid=[True, False, False], active=[True, True, True]
+        )
+        assert inherited == 2
+        assert lanes[0].prob == pytest.approx(1.5)  # 0.5 * 3
+        assert lanes[1].prob == lanes[2].prob == pytest.approx(1.5)
+
+    def test_charges_warp_primitives(self):
+        spec, profile = GPUSpec(), WarpProfile()
+        lanes = [_state([7, -1], 0.5, 1), _state([1, -1], 0.5, 1)]
+        apply_inheritance(
+            lanes, valid=[True, False], active=[True, True],
+            profile=profile, spec=spec,
+        )
+        assert profile.sync_cycles > 0
+
+
+class TestTheorem1Unbiasedness:
+    def test_hand_example_two_lane_warp(self):
+        """The worked example: C(u1) = {a, b}; only a extends to x.
+        True count 1; the root-normalised inherited estimator is unbiased.
+        """
+        graph = from_edge_list(
+            [(0, 2), (1, 3)], labels=[0, 0, 1, 2], name="toy"
+        )
+        # Query: u1(label 0) - u2(label 1).  Candidates of u1: {0, 1};
+        # only vertex 0 has a label-1 neighbour (vertex 2).
+        query = QueryGraph.from_edges([0, 1], [(0, 1)])
+        cg = build_candidate_graph(graph, query, use_nlf=False, refine_passes=0)
+        order = quicksi_order(query, graph)
+        truth = count_embeddings(cg, order).count
+        assert truth == 1
+
+        spec = GPUSpec(warp_size=2, sm_count=1, resident_warps_per_sm=1)
+        engine = GSWORDEngine(
+            WanderJoinEstimator(),
+            EngineConfig.gsword(tasks_per_warp=64),
+            spec,
+        )
+        estimates = []
+        for seed in range(120):
+            result = engine.run(cg, order, 64, rng=seed)
+            estimates.append(
+                result.accumulator.estimate * 0 + result.estimate
+            )
+        mean = float(np.mean(estimates))
+        assert mean == pytest.approx(1.0, abs=0.12)
+
+    def test_inherited_estimate_matches_truth_on_dataset(self):
+        graph = load_dataset("yeast")
+        query = extract_query(graph, 5, rng=8, query_type="dense")
+        cg = build_candidate_graph(graph, query)
+        order = quicksi_order(query, graph)
+        truth = count_embeddings(cg, order).count
+        assert truth > 0
+        engine = GSWORDEngine(WanderJoinEstimator(), EngineConfig.gsword())
+        result = engine.run(cg, order, 20000, rng=3)
+        assert result.estimate == pytest.approx(truth, rel=0.35)
+
+    def test_inheritance_raises_valid_sample_yield(self):
+        """Inheritance collects strictly more completed instances per root."""
+        graph = load_dataset("yeast")
+        query = extract_query(graph, 8, rng=4, query_type="dense")
+        cg = build_candidate_graph(graph, query)
+        order = quicksi_order(query, graph)
+        base = GSWORDEngine(
+            WanderJoinEstimator(), EngineConfig.sample_sync_baseline()
+        ).run(cg, order, 2048, rng=5)
+        opt = GSWORDEngine(
+            WanderJoinEstimator(), EngineConfig.gsword()
+        ).run(cg, order, 2048, rng=5)
+        assert opt.n_valid >= base.n_valid
+        assert opt.profile.warp.warp_efficiency >= base.profile.warp.warp_efficiency

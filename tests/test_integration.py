@@ -1,0 +1,219 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the same flows the examples and benches use: dataset ->
+query -> candidate graph -> order -> {enumeration, CPU sampling, simulated
+GPU, trawling, pipeline} -> metrics, and assert the cross-cutting
+consistency properties that no single-module test can see.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AlleyEstimator,
+    CoProcessingPipeline,
+    CPUSamplingRunner,
+    EngineConfig,
+    GSWORDEngine,
+    PipelineConfig,
+    TrawlingEstimator,
+    WanderJoinEstimator,
+    build_candidate_graph,
+    count_embeddings,
+    extract_query,
+    load_dataset,
+    q_error,
+    quicksi_order,
+)
+from repro.bench.workloads import build_workload
+from repro.enumeration.backtracking import enumerate_embeddings
+from repro.estimators.base import SampleState, StepContext
+
+
+@pytest.fixture(scope="module")
+def yeast_flow():
+    graph = load_dataset("yeast")
+    query = extract_query(graph, 6, rng=13, query_type="dense")
+    cg = build_candidate_graph(graph, query)
+    order = quicksi_order(query, graph)
+    truth = count_embeddings(cg, order)
+    return graph, query, cg, order, truth
+
+
+class TestEndToEndConsistency:
+    def test_truth_is_complete_and_positive(self, yeast_flow):
+        *_, truth = yeast_flow
+        assert truth.complete and truth.count >= 1
+
+    def test_all_estimators_agree_with_enumeration(self, yeast_flow):
+        graph, query, cg, order, truth = yeast_flow
+        estimates = {}
+        estimates["cpu-wj"] = CPUSamplingRunner(WanderJoinEstimator()).run(
+            cg, order, 15000, rng=1
+        ).estimate
+        estimates["cpu-al"] = CPUSamplingRunner(AlleyEstimator()).run(
+            cg, order, 15000, rng=2
+        ).estimate
+        estimates["gpu-o0"] = GSWORDEngine(
+            WanderJoinEstimator(), EngineConfig.gpu_baseline()
+        ).run(cg, order, 15000, rng=3).estimate
+        estimates["gpu-o2"] = GSWORDEngine(
+            AlleyEstimator(), EngineConfig.gsword()
+        ).run(cg, order, 15000, rng=4).estimate
+        estimates["trawl"] = TrawlingEstimator(AlleyEstimator()).run(
+            cg, order, 1500, rng=5
+        ).estimate
+        for name, estimate in estimates.items():
+            assert q_error(truth.count, estimate) < 2.0, (name, estimate)
+
+    def test_every_enumerated_embedding_is_an_embedding(self, yeast_flow):
+        graph, query, cg, order, _ = yeast_flow
+        for embedding in enumerate_embeddings(cg, order, limit=25):
+            assert query.is_isomorphic_mapping(
+                graph.labels, list(embedding), graph.has_edge
+            )
+
+    def test_valid_samples_are_embeddings(self, yeast_flow):
+        """Any sample the estimators declare valid must be a real
+        embedding of the query — the soundness glue between the sampling
+        stack and the graph substrate."""
+        graph, query, cg, order, _ = yeast_flow
+        rng = np.random.default_rng(0)
+        estimator = AlleyEstimator()
+        checked = 0
+        for _ in range(4000):
+            state, ok = estimator.run_sample(cg, order, rng)
+            if not ok:
+                continue
+            by_query_vertex = [0] * query.n_vertices
+            for pos, u in enumerate(order.order):
+                by_query_vertex[u] = state.instance[pos]
+            assert query.is_isomorphic_mapping(
+                graph.labels, by_query_vertex, graph.has_edge
+            )
+            checked += 1
+            if checked >= 20:
+                break
+        assert checked > 0
+
+    def test_sample_probabilities_match_reality(self, yeast_flow):
+        """Empirical frequency of a specific full instance ~= its sample
+        probability (the HT estimator's core assumption)."""
+        graph, query, cg, order, _ = yeast_flow
+        rng = np.random.default_rng(7)
+        estimator = WanderJoinEstimator()
+        seen = {}
+        trials = 8000
+        for _ in range(trials):
+            state, ok = estimator.run_sample(cg, order, rng)
+            if ok:
+                key = tuple(state.instance)
+                seen.setdefault(key, [0, state.prob])
+                seen[key][0] += 1
+        assert seen, "no valid samples at all"
+        for key, (count, prob) in seen.items():
+            expected = trials * prob
+            if expected < 20:
+                continue  # too rare to test tightly
+            assert abs(count - expected) < 6 * np.sqrt(expected), key
+
+
+class TestPipelineIntegration:
+    def test_pipeline_on_easy_workload_matches_truth(self, yeast_flow):
+        graph, query, cg, order, truth = yeast_flow
+        pipeline = CoProcessingPipeline(
+            AlleyEstimator(), PipelineConfig(n_batches=4, trawls_per_batch=32)
+        )
+        result = pipeline.run(cg, order, 8192, rng=21)
+        assert q_error(truth.count, result.final_estimate) < 3.0
+        # Both estimate streams individually in range too.
+        assert q_error(truth.count, result.sampling_estimate) < 3.0
+
+    def test_workload_registry_round_trip(self):
+        """The bench registry produces self-consistent workloads."""
+        w = build_workload("dblp", 8, "sparse", 0)
+        assert w.query.is_sparse
+        assert w.cg.query is w.query
+        assert len(w.order) == 8
+        truth = w.ground_truth()
+        if truth.complete:
+            assert truth.count >= 1  # extracted queries embed by construction
+
+
+class TestFailureInjection:
+    def test_empty_candidate_graph_yields_zero_estimates(self):
+        """A query with an impossible label: every component must agree the
+        count is zero rather than crash."""
+        from repro.query.query_graph import QueryGraph
+
+        graph = load_dataset("yeast")
+        bad_label = graph.n_labels + 5
+        query = QueryGraph.from_edges([bad_label, 0], [(0, 1)])
+        cg = build_candidate_graph(graph, query)
+        assert cg.is_empty()
+        order = quicksi_order(query, graph)
+        assert count_embeddings(cg, order).count == 0
+        run = CPUSamplingRunner(WanderJoinEstimator()).run(cg, order, 100, rng=0)
+        assert run.estimate == 0.0
+        gpu = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword()).run(
+            cg, order, 128, rng=0
+        )
+        assert gpu.estimate == 0.0 and gpu.n_valid == 0
+
+    def test_engine_survives_single_vertex_candidates(self):
+        """Degenerate workload: every candidate set of size <= 1."""
+        from repro.graph.builder import from_edge_list
+        from repro.query.query_graph import QueryGraph
+
+        graph = from_edge_list(
+            [(0, 1), (1, 2)], labels=[0, 1, 2], name="tiny"
+        )
+        query = QueryGraph.from_edges([0, 1, 2], [(0, 1), (1, 2)])
+        cg = build_candidate_graph(graph, query)
+        order = quicksi_order(query, graph)
+        result = GSWORDEngine(WanderJoinEstimator(), EngineConfig.gsword()).run(
+            cg, order, 64, rng=0
+        )
+        assert result.estimate == pytest.approx(1.0)
+
+    def test_trawling_with_budget_zero_discards_everything(self):
+        w = build_workload("yeast", 8, "dense", 0)
+        trawler = TrawlingEstimator(AlleyEstimator(), max_enum_nodes=0)
+        result = trawler.run(w.cg, w.order, 100, rng=0)
+        # Any enumeration that visits even one node exceeds the budget and
+        # is discarded; only trivially-empty extensions can "complete", so
+        # the estimate collapses to zero.
+        assert result.estimate == 0.0
+        assert result.n_discarded > 0
+        assert result.n_samples + result.n_discarded >= 100
+
+    def test_pipeline_zero_budget_falls_back_to_sampling(self):
+        w = build_workload("yeast", 8, "dense", 0)
+        pipeline = CoProcessingPipeline(
+            AlleyEstimator(),
+            PipelineConfig(
+                n_batches=2, trawls_per_batch=8, enum_nodes_per_ms=1e-9
+            ),
+        )
+        result = pipeline.run(w.cg, w.order, 512, rng=0)
+        assert result.n_enumerated == 0
+        assert result.final_estimate == result.sampling_estimate
+
+
+class TestDeterminismAcrossStack:
+    def test_full_stack_reproducible(self):
+        """Same seeds, same everything — the property every experiment in
+        benchmarks/ depends on."""
+        def one_run():
+            w = build_workload("hprd", 8, "dense", 0)
+            engine = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword())
+            gpu = engine.run(w.cg, w.order, 1024, rng=99)
+            pipe = CoProcessingPipeline(
+                AlleyEstimator(), PipelineConfig(n_batches=2, trawls_per_batch=8)
+            ).run(w.cg, w.order, 512, rng=5)
+            return (
+                gpu.estimate, gpu.n_samples, gpu.profile.total_cycles,
+                pipe.final_estimate, pipe.n_enumerated,
+            )
+
+        assert one_run() == one_run()

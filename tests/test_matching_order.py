@@ -1,0 +1,112 @@
+"""Tests for matching orders (QuickSI / G-CARE / round-robin selection)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.datasets import load_dataset
+from repro.query.extract import extract_query
+from repro.query.matching_order import (
+    MatchingOrder,
+    gcare_order,
+    quicksi_order,
+    random_valid_order,
+    select_best_order,
+)
+from repro.query.query_graph import QueryGraph, path_query
+
+
+def _assert_connected_order(query, order):
+    """Every vertex after the first must have a matched backward neighbour."""
+    assert sorted(order.order) == list(range(query.n_vertices))
+    for i in range(1, len(order)):
+        assert order.backward[i], f"position {i} has no backward neighbour"
+    # position is the inverse permutation.
+    for i, u in enumerate(order.order):
+        assert order.position[u] == i
+
+
+class TestMatchingOrderStructure:
+    def test_from_permutation_valid(self, paper_query):
+        order = MatchingOrder.from_permutation(paper_query, [0, 1, 2, 3, 4])
+        _assert_connected_order(paper_query, order)
+
+    def test_disconnected_permutation_rejected(self, paper_query):
+        # u5 (index 4) only touches u4 (index 3); starting 0 then 4 breaks.
+        with pytest.raises(QueryError):
+            MatchingOrder.from_permutation(paper_query, [0, 4, 1, 2, 3])
+
+    def test_non_permutation_rejected(self, paper_query):
+        with pytest.raises(QueryError):
+            MatchingOrder.from_permutation(paper_query, [0, 0, 1, 2, 3])
+
+    def test_backward_positions_point_to_neighbours(self, paper_query):
+        order = MatchingOrder.from_permutation(paper_query, [0, 1, 2, 3, 4])
+        for i in range(1, len(order)):
+            u = order.order[i]
+            for j in order.backward[i]:
+                assert paper_query.has_edge(u, order.order[j])
+
+
+class TestHeuristics:
+    def test_quicksi_valid_on_datasets(self):
+        graph = load_dataset("yeast")
+        for k in (4, 8):
+            q = extract_query(graph, k, rng=k, query_type="dense")
+            _assert_connected_order(q, quicksi_order(q, graph))
+
+    def test_gcare_valid_on_datasets(self):
+        graph = load_dataset("yeast")
+        q = extract_query(graph, 8, rng=2, query_type="dense")
+        _assert_connected_order(q, gcare_order(q, graph))
+
+    def test_quicksi_starts_rarest(self):
+        graph = load_dataset("yeast")
+        q = extract_query(graph, 6, rng=1, query_type="dense")
+        order = quicksi_order(q, graph)
+        # The start vertex has minimal label/degree-filter frequency.
+        from repro.query.matching_order import _candidate_frequency
+
+        freq = _candidate_frequency(q, graph)
+        assert freq[order.order[0]] == freq.min()
+
+    def test_random_order_valid(self, paper_query):
+        for seed in range(5):
+            order = random_valid_order(paper_query, rng=seed)
+            _assert_connected_order(paper_query, order)
+
+    def test_methods_labelled(self, paper_query):
+        graph = load_dataset("yeast")
+        q = extract_query(graph, 4, rng=0)
+        assert quicksi_order(q, graph).method == "quicksi"
+        assert gcare_order(q, graph).method == "gcare"
+
+
+class TestRoundRobinSelection:
+    def test_select_best_order_uses_evaluator(self):
+        graph = load_dataset("yeast")
+        q = extract_query(graph, 6, rng=4, query_type="dense")
+
+        # Prefer the g-care order by construction.
+        def evaluate(order):
+            return 0.0 if order.method == "gcare" else 1.0
+
+        best = select_best_order(q, graph, evaluate, extra_candidates=1, rng=0)
+        assert best.method == "gcare"
+
+    def test_select_best_order_pilot_variance(self):
+        # A realistic evaluator: pilot-sample estimator variance.
+        from repro.candidate.candidate_graph import build_candidate_graph
+        from repro.estimators.cpu_runner import CPUSamplingRunner
+        from repro.estimators.wanderjoin import WanderJoinEstimator
+
+        graph = load_dataset("yeast")
+        q = extract_query(graph, 5, rng=6, query_type="dense")
+        cg = build_candidate_graph(graph, q)
+
+        def evaluate(order):
+            runner = CPUSamplingRunner(WanderJoinEstimator())
+            result = runner.run(cg, order, 200, rng=1)
+            return result.accumulator.variance
+
+        best = select_best_order(q, graph, evaluate, extra_candidates=2, rng=1)
+        _assert_connected_order(q, best)

@@ -1,0 +1,86 @@
+"""Tests for q-error and summary statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.qerror import is_underestimate, q_error, signed_q_error
+from repro.metrics.stats import geometric_mean, speedup, summarize
+
+
+class TestQError:
+    def test_exact(self):
+        assert q_error(100, 100) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(100, 25) == q_error(100, 400) == 4.0
+
+    def test_zero_clamping(self):
+        # The paper's definition clamps both sides at 1.
+        assert q_error(0, 0) == 1.0
+        assert q_error(1000, 0) == 1000.0
+        assert q_error(0, 1000) == 1000.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            q_error(-1, 5)
+
+    def test_underestimate_detection(self):
+        assert is_underestimate(100, 10)
+        assert not is_underestimate(10, 100)
+        assert not is_underestimate(5, 5)
+
+    def test_signed(self):
+        assert signed_q_error(100, 10) == -10.0
+        assert signed_q_error(10, 100) == 10.0
+        assert signed_q_error(7, 7) == 1.0
+
+    @given(
+        st.floats(min_value=0, max_value=1e12),
+        st.floats(min_value=0, max_value=1e12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_properties(self, c, c_hat):
+        qe = q_error(c, c_hat)
+        assert qe >= 1.0
+        # Symmetry in the arguments.
+        assert qe == pytest.approx(q_error(c_hat, c))
+        # Scale consistency above the clamp.
+        if c >= 1 and c_hat >= 1:
+            assert qe == pytest.approx(max(c / c_hat, c_hat / c))
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([5.0]) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(math.sqrt(2 / 3))
+        assert (s.minimum, s.maximum, s.n) == (1.0, 3.0, 3)
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_format_pm(self):
+        s = summarize([10.0, 20.0])
+        assert s.format_pm() == "15±5"
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_geometric_mean_bounds(self, values):
+        gm = geometric_mean(values)
+        assert min(values) <= gm * (1 + 1e-9)
+        assert gm <= max(values) * (1 + 1e-9)

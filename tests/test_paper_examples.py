@@ -1,0 +1,119 @@
+"""Tests pinned to the paper's worked examples and stated claims.
+
+These go beyond unit behaviour: they check the *semantic* claims the paper
+makes about its own running example (Figures 2-3, Examples 1-2) and about
+the estimators' relationship (Alley's sample space is a subset of
+WanderJoin's, with correspondingly higher per-sequence probabilities).
+"""
+
+import numpy as np
+import pytest
+
+from repro.candidate.candidate_graph import build_candidate_graph
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.base import SampleState, StepContext, get_min_candidate
+from repro.estimators.wanderjoin import WanderJoinEstimator
+from repro.query.matching_order import MatchingOrder
+
+
+@pytest.fixture
+def fig2(paper_graph, paper_query):
+    """The Figure 2 workload with the paper's matching order
+    φ = (u1, u2, u3, u4, u5) and label-only filtering — Example 1's
+    candidate graph has C(u2) = {v3..v6}, i.e. no degree filter."""
+    cg = build_candidate_graph(
+        paper_graph, paper_query,
+        use_nlf=False, refine_passes=0, use_degree=False,
+    )
+    order = MatchingOrder.from_permutation(
+        paper_query, [0, 1, 2, 3, 4], method="paper"
+    )
+    return paper_graph, paper_query, cg, order
+
+
+def _sequence_probability(estimator, cg, order, sequence):
+    """Probability of sampling ``sequence`` under ``estimator``'s RSV walk,
+    computed exactly from the refined-set sizes along the walk (0.0 when
+    any step cannot produce the requested vertex)."""
+    state = SampleState.fresh(len(order))
+    prob = 1.0
+    for d, v in enumerate(sequence):
+        ctx = StepContext(cg, order, d)
+        cand, eid, span, others = get_min_candidate(ctx, state)
+        refined, _ = estimator.refine(ctx, state, cand, others)
+        pool = [int(x) for x in refined]
+        if v not in pool:
+            return 0.0
+        prob *= 1.0 / len(pool)
+        valid, _ = estimator.validate(ctx, state, v, 1.0 / len(pool), others)
+        if not valid:
+            return 0.0
+    return prob
+
+
+class TestExample2SampleSpaces:
+    def test_alley_probability_dominates_wanderjoin(self, fig2):
+        """Example 2's core claim: for any sequence both can produce,
+        Alley's sampling probability is at least WanderJoin's (its refined
+        sets are subsets of the raw candidate sets)."""
+        graph, query, cg, order = fig2
+        wj, al = WanderJoinEstimator(), AlleyEstimator()
+        # Enumerate all prefixes WanderJoin can reach, breadth-first.
+        frontiers = [()]
+        checked = 0
+        for depth in range(query.n_vertices):
+            new_frontiers = []
+            for prefix in frontiers:
+                state = SampleState.fresh(len(order))
+                ok = True
+                for d, v in enumerate(prefix):
+                    ctx = StepContext(cg, order, d)
+                    cand, eid, span, others = get_min_candidate(ctx, state)
+                    refined, _ = wj.refine(ctx, state, cand, others)
+                    valid, _ = wj.validate(ctx, state, v, 1.0, others)
+                    if not valid:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                ctx = StepContext(cg, order, depth)
+                cand, eid, span, others = get_min_candidate(ctx, state)
+                for v in cand:
+                    new_frontiers.append(prefix + (int(v),))
+            frontiers = new_frontiers
+            for sequence in frontiers:
+                p_wj = _sequence_probability(wj, cg, order, sequence)
+                p_al = _sequence_probability(al, cg, order, sequence)
+                if p_wj > 0 and p_al > 0:
+                    assert p_al >= p_wj - 1e-12, sequence
+                    checked += 1
+        assert checked > 0
+
+    def test_ht_estimate_example(self, fig2):
+        """Example 2's arithmetic: one invalid and one valid sample with
+        inverse probability P give the estimate (0 + 1/P) / 2."""
+        graph, query, cg, order = fig2
+        wj = WanderJoinEstimator()
+        # Find some full valid sequence and compute its probability.
+        rng = np.random.default_rng(3)
+        for _ in range(500):
+            state, ok = wj.run_sample(cg, order, rng)
+            if ok:
+                break
+        assert ok, "no valid sample found on the Figure 2 workload"
+        from repro.estimators.ht import HTAccumulator
+
+        acc = HTAccumulator()
+        acc.add(0.0)               # an invalid sample
+        acc.add(state.ht_value)    # the valid one
+        assert acc.estimate == pytest.approx(0.5 / state.prob)
+
+    def test_example1_partial_instances(self, fig2):
+        """Example 1 lists (v1,v3), (v1,v4), (v1,v5), (v2,v5), (v2,v6) as
+        partial instances of (u1, u2): all must be reachable two-step walks
+        in the candidate graph (ids: v1=0, v2=1, v3=2 ... v6=5)."""
+        graph, query, cg, order = fig2
+        wj = WanderJoinEstimator()
+        for v1, v2 in [(0, 2), (0, 3), (0, 4), (1, 4), (1, 5)]:
+            p = _sequence_probability(wj, cg, order, (v1, v2))
+            assert p > 0, (v1, v2)

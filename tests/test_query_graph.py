@@ -1,0 +1,129 @@
+"""Tests for query graphs and query extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.graph.datasets import load_dataset
+from repro.query.extract import extract_queries, extract_query
+from repro.query.query_graph import (
+    QueryGraph,
+    clique_query,
+    cycle_query,
+    path_query,
+    star_query,
+)
+
+
+class TestQueryGraph:
+    def test_basic(self, paper_query):
+        assert paper_query.n_vertices == 5
+        assert paper_query.n_edges == 5
+        assert paper_query.has_edge(2, 3)
+        assert not paper_query.has_edge(0, 4)
+        assert paper_query.degree(3) == 3
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph.from_edges([0, 0, 0, 0], [(0, 1), (2, 3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph.from_edges([0, 0], [(0, 0), (0, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph.from_edges([0, 0], [(0, 5)])
+
+    def test_sparse_classification(self):
+        assert path_query([0, 0, 0, 0]).is_sparse
+        assert not star_query(0, [1, 1, 1]).is_sparse
+        assert path_query([0] * 8).query_type == "sparse"
+
+    def test_edges_sorted(self, paper_query):
+        edges = paper_query.edges()
+        assert edges == sorted(edges)
+
+    def test_helpers(self):
+        assert cycle_query([0, 1, 2]).n_edges == 3
+        assert clique_query([0, 1, 2, 3]).n_edges == 6
+        assert star_query(0, [1, 2]).degree(0) == 2
+        with pytest.raises(QueryError):
+            cycle_query([0, 1])
+
+    def test_automorphisms_triangle(self, triangle_query):
+        # Unlabelled triangle: 3! = 6 automorphisms.
+        assert triangle_query.automorphism_count() == 6
+
+    def test_automorphisms_labelled_path(self):
+        # Path A-B-C has only the identity.
+        assert path_query([0, 1, 2]).automorphism_count() == 1
+
+    def test_automorphisms_symmetric_path(self):
+        # Path A-B-A can be flipped.
+        assert path_query([0, 1, 0]).automorphism_count() == 2
+
+    def test_isomorphic_mapping_check(self, triangle_graph, triangle_query):
+        ok = triangle_query.is_isomorphic_mapping(
+            triangle_graph.labels, [0, 1, 2], triangle_graph.has_edge
+        )
+        assert ok
+        bad = triangle_query.is_isomorphic_mapping(
+            triangle_graph.labels, [0, 1, 1], triangle_graph.has_edge
+        )
+        assert not bad
+
+    def test_degree_sequence(self, paper_query):
+        assert paper_query.degree_sequence() == (1, 1, 2, 3, 3)
+
+
+class TestExtraction:
+    def test_dense_extraction_has_embedding(self):
+        graph = load_dataset("yeast")
+        q = extract_query(graph, 6, rng=7, query_type="dense")
+        assert q.n_vertices == 6
+        assert not q.is_sparse
+
+    def test_sparse_extraction(self):
+        graph = load_dataset("yeast")
+        q = extract_query(graph, 8, rng=9, query_type="sparse")
+        assert q.n_vertices == 8
+        assert q.is_sparse
+        assert q.n_edges == 7  # a tree
+
+    def test_labels_come_from_graph(self):
+        graph = load_dataset("yeast")
+        q = extract_query(graph, 4, rng=3)
+        assert all(0 <= l < graph.n_labels for l in q.labels)
+
+    def test_deterministic_given_seed(self):
+        graph = load_dataset("yeast")
+        a = extract_query(graph, 8, rng=11, query_type="dense")
+        b = extract_query(graph, 8, rng=11, query_type="dense")
+        assert a.edge_set == b.edge_set and a.labels == b.labels
+
+    def test_invalid_type_rejected(self):
+        graph = load_dataset("yeast")
+        with pytest.raises(QueryError):
+            extract_query(graph, 4, query_type="weird")
+
+    def test_too_small_rejected(self):
+        graph = load_dataset("yeast")
+        with pytest.raises(QueryError):
+            extract_query(graph, 1)
+
+    def test_extract_queries_mixed(self):
+        graph = load_dataset("yeast")
+        queries = extract_queries(graph, 8, 4, rng=5, query_type="mixed")
+        assert len(queries) == 4
+        types = {q.query_type for q in queries}
+        assert types == {"sparse", "dense"}
+
+    @given(st.integers(min_value=4, max_value=10))
+    @settings(max_examples=5, deadline=None)
+    def test_extracted_queries_connected(self, k):
+        graph = load_dataset("yeast")
+        q = extract_query(graph, k, rng=k, query_type="dense")
+        # QueryGraph enforces connectivity; re-assert the size.
+        assert q.n_vertices == k

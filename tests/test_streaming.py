@@ -1,0 +1,151 @@
+"""Tests for warp streaming: the A-Res reservoir (Theorem 2 invariant) and
+the collaborative/independent phase schedule of Alg. 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.streaming import (
+    StreamingSchedule,
+    WeightedReservoir,
+    streaming_schedule,
+    warp_select,
+)
+
+
+class TestWeightedReservoir:
+    def test_single_item(self):
+        r = WeightedReservoir.create(rng=0)
+        assert r.is_empty
+        assert r.offer(7, 2.0)
+        assert r.item == 7 and r.weight == 2.0
+        assert r.selection_probability == 1.0
+
+    def test_zero_weight_ignored(self):
+        r = WeightedReservoir.create(rng=0)
+        assert not r.offer(1, 0.0)
+        assert r.is_empty and r.total_weight == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedReservoir.create(rng=0).offer(1, -1.0)
+
+    def test_total_weight_accumulates(self):
+        r = WeightedReservoir.create(rng=0)
+        r.offer(1, 2.0)
+        r.offer(2, 3.0)
+        assert r.total_weight == pytest.approx(5.0)
+        assert r.selection_probability == pytest.approx(r.weight / 5.0)
+
+    def test_uniform_selection_distribution(self):
+        """Theorem 2 with equal weights: every item chosen ~ uniformly."""
+        counts = np.zeros(8)
+        for trial in range(4000):
+            r = WeightedReservoir.create(rng=trial)
+            for item in range(8):
+                r.offer(item, 1.0)
+            counts[r.item] += 1
+        expected = 4000 / 8
+        # Chi-square-ish sanity: within 5 sigma per bin.
+        sigma = np.sqrt(expected * (1 - 1 / 8))
+        assert np.all(np.abs(counts - expected) < 5 * sigma)
+
+    def test_weighted_selection_distribution(self):
+        """Inclusion probability proportional to weight."""
+        weights = [1.0, 2.0, 4.0]
+        counts = np.zeros(3)
+        trials = 6000
+        for trial in range(trials):
+            r = WeightedReservoir.create(rng=trial)
+            for item, w in enumerate(weights):
+                r.offer(item, w)
+            counts[r.item] += 1
+        total = sum(weights)
+        for item, w in enumerate(weights):
+            expected = trials * w / total
+            sigma = np.sqrt(expected)
+            assert abs(counts[item] - expected) < 6 * sigma
+
+    def test_merge_candidate_preserves_invariant(self):
+        """Lines 14-16 of Alg. 3: accepting the batch winner with
+        probability batch/total keeps per-item inclusion ~ w/total."""
+        trials = 6000
+        hits = 0
+        for trial in range(trials):
+            r = WeightedReservoir.create(rng=trial)
+            r.offer(0, 3.0)  # curV with weight 3
+            # A pre-reduced batch of total weight 6 whose winner is item 9.
+            r.merge_candidate(9, 2.0, batch_total=6.0)
+            if r.item == 9:
+                hits += 1
+        # P(reservoir holds the batch winner) = 6/9.
+        expected = trials * 6.0 / 9.0
+        assert abs(hits - expected) < 6 * np.sqrt(expected / 3)
+
+    def test_merge_zero_batch_noop(self):
+        r = WeightedReservoir.create(rng=0)
+        r.offer(1, 1.0)
+        assert not r.merge_candidate(2, 1.0, 0.0)
+        assert r.item == 1
+
+
+class TestWarpSelect:
+    def test_all_zero_weights(self):
+        item, weight, total = warp_select([1, 2, 3], [0.0, 0.0, 0.0], rng=0)
+        assert item == -1 and weight == 0.0 and total == 0.0
+
+    def test_single_positive(self):
+        item, weight, total = warp_select([5, 6], [0.0, 2.0], rng=0)
+        assert item == 6 and weight == 2.0 and total == 2.0
+
+    def test_uniformity(self):
+        counts = np.zeros(4)
+        for trial in range(4000):
+            item, _, _ = warp_select([0, 1, 2, 3], [1.0] * 4, rng=trial)
+            counts[item] += 1
+        expected = 1000
+        assert np.all(np.abs(counts - expected) < 5 * np.sqrt(expected))
+
+
+class TestStreamingSchedule:
+    def test_all_below_threshold(self):
+        s = streaming_schedule([5, 10, 31], warp_size=32)
+        assert s.collaborative_rounds == 0
+        assert s.remainders == (5, 10, 31)
+        assert s.independent_max == 31
+
+    def test_single_large_lane(self):
+        s = streaming_schedule([100], warp_size=32)
+        # 100 -> 68 -> 36 -> 4: three rounds, remainder 4.
+        assert s.collaborative_rounds == 3
+        assert s.remainders == (4,)
+        assert s.total_candidates() == 100
+
+    def test_exact_multiple(self):
+        s = streaming_schedule([64], warp_size=32)
+        assert s.collaborative_rounds == 2
+        assert s.remainders == (0,)
+
+    def test_mixed_lanes(self):
+        s = streaming_schedule([64, 10, 40], warp_size=32)
+        assert s.collaborative_rounds == 3  # 2 from 64, 1 from 40
+        assert s.remainders == (0, 10, 8)
+        assert s.total_candidates() == 114
+
+    def test_threshold_exactly_met(self):
+        s = streaming_schedule([32], warp_size=32)
+        assert s.collaborative_rounds == 1
+        assert s.remainders == (0,)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            streaming_schedule([-1])
+
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_bounds(self, lengths):
+        s = streaming_schedule(lengths, warp_size=32)
+        assert s.total_candidates() == sum(lengths)
+        assert all(r < 32 for r in s.remainders)
+        assert s.collaborative_rounds >= sum(l // 32 for l in lengths) - len(lengths)

@@ -1,0 +1,94 @@
+"""Tests for RNG plumbing, timing helpers, and the exception hierarchy."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.utils.rng import as_generator, derive_seed, spawn_generators
+from repro.utils.timing import Stopwatch, format_ms
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        a = as_generator(7).integers(0, 1000, size=5)
+        b = as_generator(7).integers(0, 1000, size=5)
+        assert list(a) == list(b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+    def test_spawn_independent_streams(self):
+        children = spawn_generators(3, 4)
+        draws = [tuple(c.integers(0, 10**9, size=3)) for c in children]
+        assert len(set(draws)) == 4  # all distinct
+
+    def test_spawn_deterministic(self):
+        a = [tuple(g.integers(0, 100, 2)) for g in spawn_generators(5, 3)]
+        b = [tuple(g.integers(0, 100, 2)) for g in spawn_generators(5, 3)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_derive_seed_stable_and_sensitive(self):
+        s1 = derive_seed(42, "eu2005", 16, "dense", 0)
+        s2 = derive_seed(42, "eu2005", 16, "dense", 0)
+        s3 = derive_seed(42, "eu2005", 16, "dense", 1)
+        s4 = derive_seed(43, "eu2005", 16, "dense", 0)
+        assert s1 == s2
+        assert s1 != s3 and s1 != s4
+        assert 0 <= s1 < 2**63
+
+
+class TestTiming:
+    def test_format_ms(self):
+        assert format_ms(0.5) == "500.0us"
+        assert format_ms(12.3) == "12.3ms"
+        assert format_ms(2500.0) == "2.50s"
+        with pytest.raises(ValueError):
+            format_ms(-1)
+
+    def test_stopwatch_laps(self):
+        sw = Stopwatch().start()
+        time.sleep(0.01)
+        lap = sw.lap("a")
+        assert lap >= 5.0
+        assert sw.laps["a"] == pytest.approx(lap)
+        sw.lap("a")  # accumulates
+        assert sw.laps["a"] > lap
+        assert sw.total_ms() == pytest.approx(sum(sw.laps.values()))
+
+    def test_stopwatch_requires_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().lap("x")
+        with pytest.raises(RuntimeError):
+            Stopwatch().elapsed_ms()
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for cls in (
+            errors.GraphError,
+            errors.QueryError,
+            errors.CandidateGraphError,
+            errors.EnumerationBudgetExceeded,
+            errors.SimulationError,
+            errors.ConfigError,
+        ):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_budget_error_carries_partial_count(self):
+        err = errors.EnumerationBudgetExceeded(41)
+        assert err.partial_count == 41
+        assert "41" in str(err)
