@@ -1,0 +1,86 @@
+"""Serving demo: 32+ concurrent mixed queries through EstimationService.
+
+Shows the three serving-layer properties end to end:
+
+(a) **plan-cache reuse** — the 36-request stream cycles over 6 distinct
+    queries, so repeats hit the LRU plan cache and skip candidate-graph
+    construction + PCIe transfer, with measurably lower latency;
+(b) **dynamic batching** — rounds from many queries fuse into co-resident
+    device batches sharing ``GPUSpec.resident_warps``; aggregate
+    samples/sec beats running the same requests one-per-batch on the same
+    simulated device (emergent from the occupancy model, nothing is
+    hard-coded);
+(c) **deadline degradation** — requests with a tight simulated deadline
+    return a best-effort estimate flagged ``degraded=True`` instead of
+    failing.
+
+Run:  python examples/serving.py
+"""
+
+from repro.bench.serving import build_request_pool, request_stream
+from repro.serve import EstimationService, ServiceConfig
+
+N_REQUESTS = 36
+N_DISTINCT = 6
+
+
+def run_wave(service: EstimationService, requests):
+    responses = service.estimate_many(requests)
+    snap = service.metrics_snapshot()
+    return responses, snap
+
+
+def main() -> None:
+    pool = build_request_pool(distinct=N_DISTINCT, deadline_ms=0.12)
+    requests = request_stream(pool, N_REQUESTS)
+    print(f"submitting {N_REQUESTS} concurrent requests "
+          f"({N_DISTINCT} distinct queries, mixed sizes/datasets)\n")
+
+    # Batched serving with the plan cache (the real configuration).
+    batched, batched_snap = run_wave(
+        EstimationService(), request_stream(pool, N_REQUESTS)
+    )
+    # The same requests one-per-batch without a cache: the serial baseline.
+    serial, serial_snap = run_wave(
+        EstimationService(ServiceConfig(cache_bytes=0, max_batch_requests=1)),
+        requests,
+    )
+
+    # (a) cache reuse -> lower per-request latency on repeats.
+    misses = [r.latency_ms for r in batched if not r.cache_hit]
+    hits = [r.latency_ms for r in batched if r.cache_hit]
+    hit_rate = batched_snap["cache"]["hit_rate"]
+    print(f"(a) cache hit rate: {hit_rate:.0%}  "
+          f"({len(hits)} hits / {len(misses)} misses)")
+    print(f"    mean latency on miss: {sum(misses) / len(misses):.3f} sim ms")
+    print(f"    mean latency on hit:  {sum(hits) / len(hits):.3f} sim ms")
+    assert hit_rate > 0 and hits and misses
+    assert sum(hits) / len(hits) < sum(misses) / len(misses)
+
+    # (b) dynamic batching -> higher aggregate device throughput.
+    print(f"\n(b) aggregate samples/sec, same simulated device:")
+    print(f"    serial (1 request/batch): "
+          f"{serial_snap['samples_per_second']:,.0f}")
+    print(f"    batched (co-resident):    "
+          f"{batched_snap['samples_per_second']:,.0f}  "
+          f"(mean batch size {batched_snap['mean_batch_size']:.1f})")
+    assert batched_snap["samples_per_second"] > serial_snap["samples_per_second"]
+
+    # (c) deadline-bounded requests degrade instead of failing.
+    degraded = [r for r in batched if r.degraded]
+    print(f"\n(c) degraded (deadline/budget-bounded) responses: "
+          f"{len(degraded)}/{len(batched)} — best-effort estimates, no errors")
+    for r in degraded[:3]:
+        print(f"    {r.request_id}: estimate={r.estimate:,.1f} "
+              f"rel_ci=±{min(r.rel_ci, 9.99):.2f} stop={r.stop_reason} "
+              f"latency={r.latency_ms:.3f} sim ms")
+    assert degraded and all(r.n_samples > 0 for r in degraded)
+
+    lat = batched_snap["latency_ms"]
+    print(f"\nlatency (sim ms): p50={lat['p50']:.3f} p95={lat['p95']:.3f} "
+          f"p99={lat['p99']:.3f}")
+    print("all serving properties verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ from repro.candidate import CandidateGraph, build_candidate_graph
 from repro.core import (
     CoProcessingPipeline,
     EngineConfig,
+    EngineSession,
     GPURunResult,
     GSWORDEngine,
     PipelineConfig,
@@ -51,6 +52,13 @@ from repro.query import (
     gcare_order,
     quicksi_order,
 )
+from repro.serve import (
+    EstimateRequest,
+    EstimateResponse,
+    EstimationService,
+    PlanCache,
+    ServiceConfig,
+)
 
 __version__ = "1.0.0"
 
@@ -73,6 +81,7 @@ __all__ = [
     "CPUSamplingRunner",
     "GSWORDEngine",
     "GPURunResult",
+    "EngineSession",
     "EngineConfig",
     "SyncMode",
     "TrawlingEstimator",
@@ -83,5 +92,10 @@ __all__ = [
     "GPUSpec",
     "CPUSpec",
     "q_error",
+    "EstimateRequest",
+    "EstimateResponse",
+    "EstimationService",
+    "ServiceConfig",
+    "PlanCache",
     "__version__",
 ]

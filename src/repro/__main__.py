@@ -1,0 +1,207 @@
+"""``repro`` command-line interface.
+
+Two subcommands make the system runnable without writing scripts:
+
+* ``repro estimate`` — one estimation through the serving stack (plan
+  build, adaptive sampling, CI/deadline stopping) on a named dataset
+  analog with an extracted query;
+* ``repro serve-bench`` — the serving throughput benchmark: mixed
+  concurrent queries through :class:`~repro.serve.EstimationService`,
+  sweeping concurrency with the plan cache on/off, against the serial
+  (one-request-per-batch) baseline.
+
+Run ``python -m repro <cmd> --help`` (or ``repro <cmd> --help`` once
+installed) for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.reporting import render_table, save_results
+from repro.bench.serving import (
+    DEFAULT_DATASETS,
+    build_request_pool,
+    run_serving_benchmark,
+)
+from repro.errors import ReproError
+from repro.graph.datasets import DATASET_ORDER, load_dataset
+from repro.query.extract import extract_query
+from repro.serve.request import EstimateRequest
+from repro.serve.service import EstimationService
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="gSWORD reproduction: GPU-accelerated subgraph counting",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    est = sub.add_parser(
+        "estimate", help="estimate one query's embedding count via the service"
+    )
+    est.add_argument(
+        "--dataset", default="yeast", choices=DATASET_ORDER,
+        help="dataset analog to count on",
+    )
+    est.add_argument("--k", type=int, default=8, help="query vertices (4-16)")
+    est.add_argument(
+        "--query-type", default="dense", choices=("dense", "sparse"),
+    )
+    est.add_argument(
+        "--seed", type=int, default=0, help="query-extraction seed"
+    )
+    est.add_argument(
+        "--estimator", default="alley", choices=("alley", "wanderjoin"),
+    )
+    est.add_argument(
+        "--target-ci", type=float, default=0.1,
+        help="stop at this relative CI half-width (0.1 = ±10%%)",
+    )
+    est.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="simulated-ms latency budget (degrades instead of failing)",
+    )
+    est.add_argument("--max-samples", type=int, default=131_072)
+
+    bench = sub.add_parser(
+        "serve-bench", help="serving throughput benchmark (batching + cache)"
+    )
+    bench.add_argument(
+        "--requests", type=int, default=64, help="total requests per config"
+    )
+    bench.add_argument(
+        "--clients", default="1,8,32",
+        help="comma-separated concurrent-client counts to sweep",
+    )
+    bench.add_argument(
+        "--distinct", type=int, default=8, help="distinct queries in the pool"
+    )
+    bench.add_argument(
+        "--datasets", default=",".join(DEFAULT_DATASETS),
+        help="comma-separated dataset analogs for the query pool",
+    )
+    bench.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline (simulated ms)",
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true", help="skip the cache-on configs"
+    )
+    bench.add_argument(
+        "--no-save", action="store_true", help="do not write results/ JSON"
+    )
+    return parser
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset)
+    query = extract_query(
+        graph, args.k, rng=args.seed, query_type=args.query_type,
+        name=f"{args.dataset}-q{args.k}-{args.query_type}-{args.seed}",
+    )
+    service = EstimationService()
+    response = service.estimate(
+        EstimateRequest(
+            graph=graph,
+            query=query,
+            target_rel_ci=args.target_ci,
+            deadline_ms=args.deadline_ms,
+            max_samples=args.max_samples,
+            estimator=args.estimator,
+        )
+    )
+    print(f"dataset:    {args.dataset}  ({graph.n_vertices} vertices)")
+    print(f"query:      {query.name}  ({query.n_vertices} vertices, "
+          f"{query.n_edges} edges)")
+    print(f"estimate:   {response.estimate:,.1f}")
+    ci = "n/a" if response.rel_ci == float("inf") else f"±{response.rel_ci:.1%}"
+    print(f"rel. CI:    {ci}  (target ±{args.target_ci:.1%})")
+    print(f"samples:    {response.n_samples}  ({response.n_valid} valid, "
+          f"{response.n_rounds} rounds)")
+    print(f"latency:    {response.latency_ms:.3f} simulated ms "
+          f"(build {response.build_ms:.3f}, service {response.service_ms:.3f})")
+    print(f"stopped:    {response.stop_reason}"
+          + ("  [DEGRADED: best-effort estimate]" if response.degraded else ""))
+    return 0
+
+
+def _parse_clients(spec: str) -> List[int]:
+    try:
+        clients = [int(c) for c in spec.split(",") if c.strip()]
+    except ValueError:
+        raise ReproError(
+            f"--clients expects comma-separated integers, got {spec!r}"
+        ) from None
+    if not clients or any(c <= 0 for c in clients):
+        raise ReproError(
+            f"--clients expects positive integers, got {spec!r}"
+        )
+    return clients
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    clients = _parse_clients(args.clients)
+    datasets = tuple(d.strip() for d in args.datasets.split(",") if d.strip())
+    pool = build_request_pool(
+        datasets=datasets, distinct=args.distinct, deadline_ms=args.deadline_ms,
+    )
+    configs = [("serial", dict(serial=True, cache=False))]
+    configs.append(("batched", dict(serial=False, cache=False)))
+    if not args.no_cache:
+        configs.append(("batched+cache", dict(serial=False, cache=True)))
+
+    rows = []
+    records = []
+    for n_clients in clients:
+        for label, kwargs in configs:
+            record = run_serving_benchmark(
+                clients=n_clients, n_requests=args.requests, pool=pool,
+                **kwargs,
+            )
+            record["config"] = label
+            records.append(record)
+            rows.append([
+                n_clients, label,
+                record["samples_per_second"],
+                record["requests_per_second"],
+                record["p50_ms"], record["p95_ms"],
+                record["cache_hit_rate"], record["n_degraded"],
+            ])
+    print(render_table(
+        ["clients", "config", "samples/s", "req/s", "p50 ms", "p95 ms",
+         "hit rate", "degraded"],
+        rows,
+        title=f"Serving throughput ({args.requests} requests, "
+              f"{args.distinct} distinct queries)",
+    ))
+    if not args.no_save:
+        path = save_results("serving_throughput", {
+            "requests": args.requests,
+            "distinct": args.distinct,
+            "clients": clients,
+            "records": records,
+        })
+        if path is not None:
+            print(f"\nresults written to {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "estimate":
+            return _cmd_estimate(args)
+        if args.command == "serve-bench":
+            return _cmd_serve_bench(args)
+    except ReproError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,11 @@ from repro.bench.harness import (
     run_method,
 )
 from repro.bench.reporting import render_series, render_table, save_results
+from repro.bench.serving import (
+    build_request_pool,
+    request_stream,
+    run_serving_benchmark,
+)
 from repro.bench.workloads import (
     LIGHT_FILTER,
     TIGHT_FILTER,
@@ -28,4 +33,7 @@ __all__ = [
     "render_table",
     "render_series",
     "save_results",
+    "build_request_pool",
+    "request_stream",
+    "run_serving_benchmark",
 ]

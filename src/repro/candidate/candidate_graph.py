@@ -144,6 +144,14 @@ class CandidateGraph:
         total += sum(c.nbytes for c in self.global_candidates)
         return int(total)
 
+    @property
+    def nbytes(self) -> int:
+        """Resident size in bytes, numpy-style; what memory-budgeted caches
+        (``repro.serve.PlanCache``) charge against their budget.  Identical
+        to :meth:`memory_bytes` — the edge-id dict is host-side metadata an
+        order of magnitude smaller than the CSR payload."""
+        return self.memory_bytes()
+
     def transfer_ms(self) -> float:
         """Simulated host-to-device PCIe transfer time (Table 3 analog)."""
         return PCIE_LATENCY_MS + self.memory_bytes() / PCIE_BYTES_PER_MS
@@ -214,6 +222,42 @@ class CandidateGraph:
             f"CandidateGraph(query={self.query.name!r}, |C|={sizes}, "
             f"local={self.total_local_entries()})"
         )
+
+
+def query_fingerprint(query: QueryGraph) -> int:
+    """Stable 63-bit fingerprint of a query's *structure* (labels + edges).
+
+    Two queries with the same labelled topology hash identically regardless
+    of their ``name``, and the FNV-1a mix avoids ``PYTHONHASHSEED``-dependent
+    ``hash()``, so fingerprints are reproducible across processes — the
+    property a cross-request plan cache needs.
+    """
+    acc = 0x362B60EB5A1D9CF3
+    tokens: List[object] = [query.labels, tuple(sorted(query.edge_set))]
+    for token in tokens:
+        for ch in repr(token).encode("utf-8"):
+            acc ^= ch
+            acc = (acc * 0x100000001B3) & 0x7FFFFFFFFFFFFFFF
+    return acc
+
+
+def plan_key(
+    graph: CSRGraph,
+    query: QueryGraph,
+    order_method: str = "quicksi",
+    graph_id: Optional[str] = None,
+    **filter_kwargs: object,
+) -> Tuple[str, int, Tuple[Tuple[str, object], ...]]:
+    """Cache key for a built plan: ``(graph_id, query_hash, build params)``.
+
+    ``graph_id`` defaults to the graph's name plus its size signature, so
+    two graphs that merely share a name do not collide; pass an explicit id
+    when serving multiple logical graphs under one name.
+    """
+    if graph_id is None:
+        graph_id = f"{graph.name}#{graph.n_vertices}v{graph.n_edges}e"
+    params = tuple(sorted(filter_kwargs.items())) + (("order", order_method),)
+    return (graph_id, query_fingerprint(query), params)
 
 
 def build_candidate_graph(

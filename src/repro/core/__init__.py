@@ -1,7 +1,7 @@
 """gSWORD core: the simulated-GPU sampling engine and its optimizations."""
 
 from repro.core.config import EngineConfig, SyncMode
-from repro.core.engine import GSWORDEngine, GPURunResult
+from repro.core.engine import EngineSession, GSWORDEngine, GPURunResult
 from repro.core.inheritance import apply_inheritance
 from repro.core.pipeline import CoProcessingPipeline, PipelineConfig, PipelineResult
 from repro.core.streaming import WeightedReservoir, streaming_schedule
@@ -12,6 +12,7 @@ __all__ = [
     "SyncMode",
     "GSWORDEngine",
     "GPURunResult",
+    "EngineSession",
     "apply_inheritance",
     "WeightedReservoir",
     "streaming_schedule",

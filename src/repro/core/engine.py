@@ -125,7 +125,7 @@ class GPURunResult:
     def samples_per_second(self) -> float:
         ms = self.simulated_ms()
         if ms <= 0:
-            return 0.0
+            raise ConfigError("simulated duration must be positive")
         return self.n_samples / ms * 1000.0
 
 
@@ -145,6 +145,19 @@ class GSWORDEngine:
         self.estimator = estimator
         self.config = config
         self.spec = spec
+
+    def session(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        rng: RandomSource = None,
+    ) -> "EngineSession":
+        """Round-capable entry point: an :class:`EngineSession` that keeps
+        the HT accumulator and kernel counters across successive sampling
+        rounds on one ``(cg, order)`` pair.  This is what incremental
+        consumers (the serving layer's adaptive budget controller) use
+        instead of one monolithic :meth:`run`."""
+        return EngineSession(self, cg, order, rng)
 
     # ------------------------------------------------------------------
     # Public API
@@ -519,3 +532,87 @@ class GSWORDEngine:
             return 0.0
         spec = self.spec
         return max_chain * spec.mem_latency_cycles + total_loads * spec.issue_cycles
+
+
+class EngineSession:
+    """Incremental (round-by-round) execution state for one query.
+
+    Each :meth:`run_round` call launches one kernel's worth of sampling and
+    folds its HT accumulator and cycle counters into the session, so the
+    cumulative estimate, variance, and confidence interval tighten round
+    over round.  Per-round results keep their own profiles too — the
+    serving scheduler needs the *round's* kernel profile to account a batch
+    of co-resident kernels, while convergence checks read the cumulative
+    :meth:`result`.
+
+    Round RNG streams are spawned from the session's root source, so a
+    session seeded with an integer replays identically.
+    """
+
+    def __init__(
+        self,
+        engine: GSWORDEngine,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        rng: RandomSource = None,
+    ) -> None:
+        self.engine = engine
+        self.cg = cg
+        self.order = order
+        self._root = as_generator(rng)
+        self._acc = HTAccumulator()
+        self._profile = KernelProfile()
+        self._longest = 0.0
+        self._n_warps = 0
+        self._n_samples = 0
+        self._rounds = 0
+        self._collected: List[Tuple[Tuple[int, ...], float]] = []
+
+    @property
+    def n_rounds(self) -> int:
+        return self._rounds
+
+    @property
+    def n_samples(self) -> int:
+        """Cumulative collected samples across rounds."""
+        return self._n_samples
+
+    def run_round(
+        self, n_samples: int, collect_states: bool = False
+    ) -> GPURunResult:
+        """Run one sampling round and merge it into the session.
+
+        Returns the *round's own* result (its profile is what a batch
+        scheduler co-schedules); read :meth:`result` for the cumulative
+        view."""
+        round_rng = spawn_generators(self._root, 1)[0]
+        round_result = self.engine.run(
+            self.cg, self.order, n_samples, rng=round_rng,
+            collect_states=collect_states,
+        )
+        self._acc.merge(round_result.accumulator)
+        self._profile.merge(round_result.profile)
+        self._longest = max(self._longest, round_result.longest_warp_cycles)
+        self._n_warps += round_result.n_warps
+        self._n_samples += round_result.n_samples
+        self._collected.extend(round_result.collected)
+        self._rounds += 1
+        return round_result
+
+    def result(self) -> GPURunResult:
+        """Cumulative result over all rounds run so far."""
+        if self._rounds == 0:
+            raise ConfigError("no rounds have been run")
+        return GPURunResult(
+            estimate=self._acc.estimate,
+            n_samples=self._n_samples,
+            n_root_samples=self._acc.n,
+            n_valid=self._profile.n_valid_samples,
+            accumulator=self._acc,
+            profile=self._profile,
+            n_warps=self._n_warps,
+            tasks_per_warp=self.engine.config.tasks_per_warp,
+            longest_warp_cycles=self._longest,
+            spec=self.engine.spec,
+            collected=self._collected,
+        )

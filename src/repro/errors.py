@@ -38,3 +38,7 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid engine / pipeline configuration values."""
+
+
+class ServiceError(ReproError):
+    """Raised for estimation-service misuse (bad request, stopped service)."""

@@ -10,7 +10,7 @@ are bounded by their longest warp instead (no free parallelism).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.gpu.costmodel import GPUSpec
@@ -39,6 +39,33 @@ class DeviceModel:
         throughput_cycles = profile.total_cycles / parallelism
         floor_cycles = longest_warp_cycles or 0.0
         cycles = max(throughput_cycles, floor_cycles)
+        return self.spec.launch_overhead_ms + self.spec.cycles_to_ms(cycles)
+
+    def coresident_ms(
+        self,
+        profiles: Sequence[KernelProfile],
+        longest_warp_cycles: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Duration of several kernels launched *together* as co-resident
+        warp groups sharing the device's ``resident_warps`` slots.
+
+        The fused launch behaves like one kernel whose warps are the union
+        of the member kernels': total cycles divide by the combined
+        parallelism, the launch overhead is paid once, and the batch cannot
+        finish before its slowest warp.  Small kernels that would each leave
+        most warp slots idle when launched back-to-back instead fill each
+        other's slots — the co-scheduling win dynamic batching exploits.
+        """
+        if not profiles:
+            return self.spec.launch_overhead_ms
+        total_warps = sum(p.n_warps for p in profiles)
+        if total_warps <= 0:
+            return self.spec.launch_overhead_ms
+        total_cycles = sum(p.total_cycles for p in profiles)
+        parallelism = min(total_warps, self.spec.resident_warps)
+        cycles = total_cycles / parallelism
+        if longest_warp_cycles:
+            cycles = max(cycles, max(longest_warp_cycles))
         return self.spec.launch_overhead_ms + self.spec.cycles_to_ms(cycles)
 
     def scale_to_samples(

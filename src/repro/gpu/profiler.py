@@ -106,6 +106,18 @@ class KernelProfile:
         self.n_samples += samples
         self.n_valid_samples += valid
 
+    def merge(self, other: "KernelProfile") -> "KernelProfile":
+        """Fold another kernel's counters into this one.
+
+        Used by round-capable execution (``EngineSession``) and by the
+        serving scheduler, which accounts several co-resident kernels as one
+        device batch."""
+        self.warp.merge(other.warp)
+        self.n_warps += other.n_warps
+        self.n_samples += other.n_samples
+        self.n_valid_samples += other.n_valid_samples
+        return self
+
     @property
     def total_cycles(self) -> float:
         return self.warp.cycles

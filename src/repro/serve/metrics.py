@@ -1,0 +1,145 @@
+"""Service observability: latency histogram, throughput, cache and
+degradation counters.
+
+Everything is exposed as a plain-dict :meth:`ServiceMetrics.snapshot` so
+the bench harness (and the ``repro serve-bench`` CLI) can serialise it
+straight to JSON — no metric objects leak out of the serving layer.
+
+Latencies are simulated device milliseconds (the serving layer's single
+clock); percentiles use linear interpolation over the recorded values,
+which at serving cardinalities (10²–10⁴ requests) is exact enough that
+bucketing would only lose information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``values``.
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    """
+    if not values:
+        return 0.0
+    if not (0.0 <= q <= 100.0):
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class LatencyHistogram:
+    """Streaming latency record with percentile snapshots."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, latency_ms: float) -> None:
+        self.samples.append(float(latency_ms))
+
+    def snapshot(self) -> Dict[str, float]:
+        n = len(self.samples)
+        if n == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "max": 0.0}
+        return {
+            "count": n,
+            "mean": sum(self.samples) / n,
+            "p50": percentile(self.samples, 50),
+            "p95": percentile(self.samples, 95),
+            "p99": percentile(self.samples, 99),
+            "max": max(self.samples),
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters the estimation service maintains while processing.
+
+    ``busy_ms`` is the total simulated device time spent in batches, so
+    ``samples/sec = total_samples / busy_ms`` is *aggregate device
+    throughput* — the number dynamic batching is supposed to raise by
+    keeping more warp slots occupied per batch.
+    """
+
+    n_submitted: int = 0
+    n_completed: int = 0
+    n_degraded: int = 0
+    n_failed: int = 0
+    n_batches: int = 0
+    n_rounds: int = 0
+    total_samples: int = 0
+    total_valid: int = 0
+    busy_ms: float = 0.0
+    max_queue_depth: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    # ------------------------------------------------------------------
+    def record_submit(self, queue_depth: int) -> None:
+        self.n_submitted += 1
+        self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+
+    def record_batch(self, n_requests: int, n_samples: int, batch_ms: float) -> None:
+        self.n_batches += 1
+        self.n_rounds += n_requests
+        self.total_samples += n_samples
+        self.busy_ms += batch_ms
+        self.batch_sizes.append(n_requests)
+
+    def record_completion(
+        self, latency_ms: float, queue_ms: float, n_valid: int, degraded: bool
+    ) -> None:
+        self.n_completed += 1
+        self.total_valid += n_valid
+        if degraded:
+            self.n_degraded += 1
+        self.latency.add(latency_ms)
+        self.queue_wait.add(queue_ms)
+
+    def record_failure(self) -> None:
+        self.n_failed += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def samples_per_second(self) -> float:
+        """Aggregate device throughput over all batches (simulated)."""
+        if self.busy_ms <= 0:
+            return 0.0
+        return self.total_samples / self.busy_ms * 1000.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view for reporting/JSON; cache stats are merged in by
+        the service (the cache is optional and lives beside the metrics)."""
+        return {
+            "n_submitted": self.n_submitted,
+            "n_completed": self.n_completed,
+            "n_degraded": self.n_degraded,
+            "n_failed": self.n_failed,
+            "n_batches": self.n_batches,
+            "n_rounds": self.n_rounds,
+            "total_samples": self.total_samples,
+            "total_valid": self.total_valid,
+            "busy_ms": self.busy_ms,
+            "samples_per_second": self.samples_per_second,
+            "mean_batch_size": self.mean_batch_size,
+            "max_queue_depth": self.max_queue_depth,
+            "latency_ms": self.latency.snapshot(),
+            "queue_wait_ms": self.queue_wait.snapshot(),
+        }

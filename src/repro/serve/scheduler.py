@@ -1,0 +1,150 @@
+"""Dynamic batching of sampling rounds onto the simulated device.
+
+C-SAW's central observation is that GPU sampling throughput comes from
+batching many independent sampling tasks into one launch.  The scheduler
+applies it across *queries*: each scheduling tick pulls queued round-tasks
+FIFO and fuses them into one device batch of co-resident warp groups.  A
+batch admits tasks until their combined warp count fills the device's
+``GPUSpec.resident_warps`` slots (times a configurable overcommit factor)
+— so small rounds from many queries share one launch instead of each
+leaving most of the device idle.
+
+Batch duration is *derived*, not asserted: each member round runs on the
+ordinary engine and produces its :class:`KernelProfile`;
+:meth:`DeviceModel.coresident_ms` then divides the union of warp cycles by
+the shared occupancy.  Any batching speedup over serial execution is
+therefore emergent from the same occupancy model every other timing in the
+repository uses.
+
+Fairness is structural: admission is FIFO and a task's continuation
+re-enters at the tail of the queue (the service does this), so a query
+needing many rounds interleaves with newly-arrived small queries instead
+of monopolising the device — the per-round sample ceiling in
+:class:`~repro.serve.controller.BudgetPolicy` bounds how much device time
+any single admission can claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.core.engine import EngineSession, GPURunResult
+from repro.errors import ServiceError
+from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
+from repro.gpu.device import DeviceModel
+
+
+@dataclass
+class RoundTask:
+    """One schedulable unit: run ``n_samples`` on a request's session.
+
+    ``payload`` is opaque to the scheduler (the service stores its pending-
+    request record there)."""
+
+    session: EngineSession
+    n_samples: int
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise ServiceError("a round task needs a positive sample count")
+
+    def est_warps(self) -> int:
+        """Warps this round will launch (the admission currency)."""
+        return max(
+            1,
+            math.ceil(self.n_samples / self.session.engine.config.tasks_per_warp),
+        )
+
+
+@dataclass
+class BatchResult:
+    """One executed batch: per-task round results plus fused accounting."""
+
+    tasks: List[RoundTask]
+    round_results: List[GPURunResult]
+    batch_ms: float
+    n_warps: int
+    n_samples: int
+
+    @property
+    def samples_per_second(self) -> float:
+        if self.batch_ms <= 0:
+            return 0.0
+        return self.n_samples / self.batch_ms * 1000.0
+
+
+@dataclass
+class BatchScheduler:
+    """Forms and executes co-resident device batches.
+
+    Attributes:
+        spec: the shared simulated device.
+        max_batch_requests: cap on rounds fused per batch (bounds the
+            latency of the batch's earliest admitted request).
+        warp_overcommit: admission stops once the batch's warps exceed
+            ``resident_warps × warp_overcommit``.  1.0 fills the device
+            exactly; values >1 trade per-batch latency for fewer launches.
+    """
+
+    spec: GPUSpec = DEFAULT_GPU
+    max_batch_requests: int = 64
+    warp_overcommit: float = 1.0
+    device: DeviceModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_batch_requests <= 0:
+            raise ServiceError("max_batch_requests must be positive")
+        if self.warp_overcommit <= 0:
+            raise ServiceError("warp_overcommit must be positive")
+        self.device = DeviceModel(self.spec)
+
+    # ------------------------------------------------------------------
+    def form_batch(self, queue: Deque[RoundTask]) -> List[RoundTask]:
+        """Pop a FIFO prefix of ``queue`` that fills the device.
+
+        Always admits at least one task (a single round larger than the
+        device simply runs as a saturating launch)."""
+        warp_cap = int(self.spec.resident_warps * self.warp_overcommit)
+        batch: List[RoundTask] = []
+        warps = 0
+        while queue and len(batch) < self.max_batch_requests:
+            task = queue[0]
+            task_warps = task.est_warps()
+            if batch and warps + task_warps > warp_cap:
+                break
+            batch.append(queue.popleft())
+            warps += task_warps
+        return batch
+
+    def execute(self, tasks: List[RoundTask]) -> BatchResult:
+        """Run every task's round and account them as one fused launch."""
+        if not tasks:
+            raise ServiceError("cannot execute an empty batch")
+        for task in tasks:
+            if task.session.engine.spec is not self.spec:
+                raise ServiceError(
+                    "all batched sessions must run on the scheduler's device"
+                )
+        results = [task.session.run_round(task.n_samples) for task in tasks]
+        batch_ms = self.device.coresident_ms(
+            [r.profile for r in results],
+            [r.longest_warp_cycles for r in results],
+        )
+        return BatchResult(
+            tasks=tasks,
+            round_results=results,
+            batch_ms=batch_ms,
+            n_warps=sum(r.n_warps for r in results),
+            n_samples=sum(r.n_samples for r in results),
+        )
+
+    def run_tick(self, queue: Deque[RoundTask]) -> Optional[BatchResult]:
+        """One scheduling tick: form a batch from ``queue`` and execute it.
+        Returns ``None`` when the queue is empty."""
+        batch = self.form_batch(queue)
+        if not batch:
+            return None
+        return self.execute(batch)

@@ -1,0 +1,390 @@
+"""The estimation service: a concurrent front end over the simulated GPU.
+
+:class:`EstimationService` accepts :class:`EstimateRequest`\\ s from any
+thread, queues them, and processes them in dynamically-batched device
+rounds.  A request's lifecycle:
+
+1. **submit** — thread-safe; returns a :class:`Ticket` the caller blocks
+   on.  Arrival is stamped on the service's simulated clock.
+2. **admission** — when first scheduled, the request's plan (candidate
+   graph + matching order) is resolved through the LRU
+   :class:`~repro.serve.cache.PlanCache`; a miss charges the simulated
+   construction + PCIe-transfer cost to this request alone (candidate
+   graphs are built host-side, overlapping device batches).
+3. **rounds** — the :class:`~repro.serve.controller.AdaptiveBudgetController`
+   sizes each round; the :class:`~repro.serve.scheduler.BatchScheduler`
+   fuses rounds from many requests into co-resident device batches.
+   Unfinished requests re-enter the queue tail (round-robin fairness).
+4. **completion** — converged, deadline-hit (``degraded=True``), sample-
+   budget-hit (``degraded=True``), or provably-zero-count.
+
+Time is *simulated* throughout: the service clock advances by each batch's
+:meth:`DeviceModel.coresident_ms`, so latencies, deadlines, and throughput
+all live on the same deterministic clock as the rest of the repository.
+The processing loop can run inline (``drain``/``estimate_many``: the
+synchronous facade) or on a background worker thread (``start``/``stop``)
+with clients blocking on their tickets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.core.config import EngineConfig
+from repro.core.engine import GSWORDEngine
+from repro.errors import ServiceError
+from repro.estimators.base import RSVEstimator
+from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
+from repro.serve.cache import PlanCache, build_plan
+from repro.serve.controller import AdaptiveBudgetController, BudgetPolicy
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.request import (
+    EstimateRequest,
+    EstimateResponse,
+    estimator_name,
+    resolve_estimator,
+)
+from repro.serve.scheduler import BatchScheduler, RoundTask
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level configuration.
+
+    Attributes:
+        spec: the shared simulated device all requests co-reside on.
+        engine_config: engine preset used for every session (gSWORD O2 by
+            default).
+        cache_bytes: plan-cache budget; 0 disables the cache entirely
+            (every request rebuilds its candidate graph).
+        max_batch_requests / warp_overcommit: scheduler knobs, see
+            :class:`~repro.serve.scheduler.BatchScheduler`.
+        policy: adaptive-budget defaults, see :class:`BudgetPolicy`.
+        order_method: matching-order heuristic for built plans.
+    """
+
+    spec: GPUSpec = DEFAULT_GPU
+    engine_config: EngineConfig = field(default_factory=EngineConfig.gsword)
+    cache_bytes: int = 64 << 20
+    max_batch_requests: int = 64
+    warp_overcommit: float = 1.0
+    policy: BudgetPolicy = field(default_factory=BudgetPolicy)
+    order_method: str = "quicksi"
+
+
+class Ticket:
+    """Handle a submitter blocks on until its response is ready."""
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: Optional[EstimateResponse] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> EstimateResponse:
+        """Block until the response is ready (raises on processing error)."""
+        if not self._event.wait(timeout):
+            raise ServiceError(f"request {self.request_id} not done yet")
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+    # Internal completion hooks -----------------------------------------
+    def _complete(self, response: EstimateResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class _Pending:
+    """Internal state of one in-flight request."""
+
+    request: EstimateRequest
+    ticket: Ticket
+    estimator: RSVEstimator
+    arrival_ms: float
+    controller: AdaptiveBudgetController
+    session: object = None  # EngineSession once admitted
+    build_ms: float = 0.0
+    cache_hit: bool = False
+    queue_ms: float = 0.0
+    first_service_ms: Optional[float] = None
+
+
+class EstimationService:
+    """Synchronous-facade concurrent estimation service (module docstring)."""
+
+    def __init__(self, config: ServiceConfig = ServiceConfig()) -> None:
+        self.config = config
+        self.scheduler = BatchScheduler(
+            spec=config.spec,
+            max_batch_requests=config.max_batch_requests,
+            warp_overcommit=config.warp_overcommit,
+        )
+        self.cache: Optional[PlanCache] = (
+            PlanCache(max_bytes=config.cache_bytes) if config.cache_bytes > 0
+            else None
+        )
+        self.metrics = ServiceMetrics()
+        self._queue: Deque[RoundTask] = deque()
+        self._arrivals: Deque[_Pending] = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._clock_ms = 0.0
+        self._ids = itertools.count(1)
+        self._engines: Dict[int, GSWORDEngine] = {}
+        self._worker: Optional[threading.Thread] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    @property
+    def clock_ms(self) -> float:
+        """The service's simulated clock (total device batch time)."""
+        return self._clock_ms
+
+    def submit(self, request: EstimateRequest) -> Ticket:
+        """Enqueue a request (thread-safe); returns its :class:`Ticket`."""
+        estimator = resolve_estimator(request.estimator)
+        with self._wakeup:
+            if self._stopping:
+                raise ServiceError("service is stopping; not accepting requests")
+            request_id = request.request_id or f"req-{next(self._ids)}"
+            ticket = Ticket(request_id)
+            pending = _Pending(
+                request=request,
+                ticket=ticket,
+                estimator=estimator,
+                arrival_ms=self._clock_ms,
+                controller=AdaptiveBudgetController(request, self.config.policy),
+            )
+            self._arrivals.append(pending)
+            self.metrics.record_submit(self.queue_depth())
+            self._wakeup.notify()
+        return ticket
+
+    def estimate(self, request: EstimateRequest) -> EstimateResponse:
+        """Submit one request and process until its response is ready."""
+        ticket = self.submit(request)
+        if self._worker is None:
+            self.drain()
+        return ticket.result()
+
+    def estimate_many(
+        self, requests: Sequence[EstimateRequest]
+    ) -> List[EstimateResponse]:
+        """Submit a wave of requests, then process until all complete.
+
+        This is the closed-loop synchronous facade: all requests are
+        admitted to the queue before processing starts, so they batch."""
+        tickets = [self.submit(request) for request in requests]
+        if self._worker is None:
+            self.drain()
+        return [ticket.result() for ticket in tickets]
+
+    def queue_depth(self) -> int:
+        return len(self._queue) + len(self._arrivals)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Service + cache metrics as one plain dict (bench/CLI surface)."""
+        snap = self.metrics.snapshot()
+        snap["queue_depth"] = self.queue_depth()
+        snap["clock_ms"] = self._clock_ms
+        snap["cache"] = self.cache.stats() if self.cache else {"enabled": False}
+        return snap
+
+    # ------------------------------------------------------------------
+    # Processing loop
+    # ------------------------------------------------------------------
+    def drain(self) -> int:
+        """Process inline until the queue is empty; returns batches run."""
+        ticks = 0
+        while self.process_once():
+            ticks += 1
+        return ticks
+
+    def process_once(self) -> bool:
+        """One scheduling tick; returns False when there was nothing to do."""
+        with self._lock:
+            self._admit_arrivals_locked()
+            batch = self.scheduler.form_batch(self._queue)
+        if not batch:
+            return False
+        result = self.scheduler.execute(batch)
+        with self._lock:
+            self._clock_ms += result.batch_ms
+            self.metrics.record_batch(
+                n_requests=len(batch),
+                n_samples=result.n_samples,
+                batch_ms=result.batch_ms,
+            )
+            for task, round_result in zip(batch, result.round_results):
+                self._after_round(task, round_result.n_samples, result.batch_ms)
+        return True
+
+    def start(self) -> None:
+        """Run the processing loop on a background worker thread."""
+        with self._wakeup:
+            if self._worker is not None:
+                raise ServiceError("service already started")
+            self._stopping = False
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="repro-serve", daemon=True
+            )
+            self._worker.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker; by default finishes all queued work first."""
+        with self._wakeup:
+            worker = self._worker
+            if worker is None:
+                return
+            self._stopping = True
+            self._wakeup.notify_all()
+        worker.join()
+        with self._wakeup:
+            self._worker = None
+            self._stopping = False
+        if drain:
+            self.drain()
+
+    def _worker_loop(self) -> None:
+        while True:
+            did_work = self.process_once()
+            with self._wakeup:
+                if self._stopping:
+                    return
+                if not did_work and self.queue_depth() == 0:
+                    self._wakeup.wait(timeout=0.1)
+
+    # ------------------------------------------------------------------
+    # Internals (all called with self._lock held)
+    # ------------------------------------------------------------------
+    def _engine_for(self, estimator: RSVEstimator) -> GSWORDEngine:
+        # One engine per estimator instance; sessions share it so a
+        # request's rounds reuse the same config/spec.
+        key = id(estimator)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = GSWORDEngine(
+                estimator, self.config.engine_config, self.config.spec
+            )
+            self._engines[key] = engine
+        return engine
+
+    def _admit_arrivals_locked(self) -> None:
+        while self._arrivals:
+            pending = self._arrivals.popleft()
+            try:
+                self._admit(pending)
+            except Exception as error:  # noqa: BLE001 - isolate per request
+                self.metrics.record_failure()
+                pending.ticket._fail(error)
+
+    def _admit(self, pending: _Pending) -> None:
+        request = pending.request
+        if self.cache is not None:
+            plan, hit = self.cache.get_or_build(
+                request.graph,
+                request.query,
+                order_method=self.config.order_method,
+                graph_id=request.graph_id,
+            )
+            pending.cache_hit = hit
+            pending.build_ms = 0.0 if hit else plan.build_ms
+        else:
+            plan = build_plan(
+                request.graph,
+                request.query,
+                order_method=self.config.order_method,
+                graph_id=request.graph_id,
+            )
+            pending.build_ms = plan.build_ms
+        cg, order = plan.cg, plan.order
+
+        if cg.is_empty():
+            # The filters proved the count is zero: answer without sampling.
+            pending.controller.finish_empty()
+            self._complete(pending)
+            return
+
+        engine = self._engine_for(pending.estimator)
+        seed = request.request_id or pending.ticket.request_id
+        pending.session = engine.session(
+            cg, order, rng=derive_seed(0xC0FFEE, seed, len(order))
+        )
+        self._enqueue_next_round(pending)
+
+    def _elapsed_ms(self, pending: _Pending) -> float:
+        return self._clock_ms - pending.arrival_ms + pending.build_ms
+
+    def _enqueue_next_round(self, pending: _Pending) -> None:
+        n = pending.controller.next_round_samples(self._elapsed_ms(pending))
+        if n <= 0:
+            self._complete(pending)
+            return
+        if pending.first_service_ms is None:
+            pending.queue_ms = self._clock_ms - pending.arrival_ms
+            pending.first_service_ms = self._clock_ms
+        self._queue.append(
+            RoundTask(session=pending.session, n_samples=n, payload=pending)
+        )
+
+    def _after_round(
+        self, task: RoundTask, round_samples: int, batch_ms: float
+    ) -> None:
+        pending: _Pending = task.payload
+        cumulative = pending.session.result()
+        pending.controller.observe(
+            cumulative.accumulator, round_samples, batch_ms
+        )
+        self._enqueue_next_round(pending)
+
+    def _complete(self, pending: _Pending) -> None:
+        controller = pending.controller
+        if pending.session is not None:
+            cumulative = pending.session.result()
+            estimate = cumulative.estimate
+            n_samples = cumulative.n_samples
+            n_valid = cumulative.n_valid
+        else:  # empty candidate graph: exact zero
+            estimate, n_samples, n_valid = 0.0, 0, 0
+        latency = self._elapsed_ms(pending)
+        service_ms = latency - pending.queue_ms - pending.build_ms
+        response = EstimateResponse(
+            request_id=pending.ticket.request_id,
+            estimate=estimate,
+            rel_ci=controller.rel_ci,
+            n_samples=n_samples,
+            n_valid=n_valid,
+            n_rounds=controller.n_rounds,
+            degraded=controller.degraded,
+            stop_reason=controller.stop_reason,
+            latency_ms=latency,
+            queue_ms=pending.queue_ms,
+            build_ms=pending.build_ms,
+            service_ms=max(0.0, service_ms),
+            cache_hit=pending.cache_hit,
+            estimator=estimator_name(pending.request.estimator),
+        )
+        self.metrics.record_completion(
+            latency_ms=latency,
+            queue_ms=pending.queue_ms,
+            n_valid=n_valid,
+            degraded=response.degraded,
+        )
+        pending.ticket._complete(response)

@@ -1,6 +1,8 @@
 """Tests for the GSWORDEngine: configs, sync modes, accounting, and the
 qualitative performance shapes the paper's Figures 5/12 rely on."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.bench.workloads import LIGHT_FILTER, build_workload
@@ -11,6 +13,8 @@ from repro.enumeration.backtracking import count_embeddings
 from repro.errors import ConfigError
 from repro.estimators.alley import AlleyEstimator
 from repro.estimators.wanderjoin import WanderJoinEstimator
+from repro.gpu.costmodel import GPUSpec
+from repro.gpu.profiler import KernelProfile
 from repro.graph.datasets import load_dataset
 from repro.query.extract import extract_query
 from repro.query.matching_order import quicksi_order
@@ -132,6 +136,93 @@ class TestEngineBasics:
         cg, order, _ = small_workload
         result = GSWORDEngine(WanderJoinEstimator()).run(cg, order, 512, rng=0)
         assert result.samples_per_second() > 0
+
+    def test_samples_per_second_rejects_zero_duration(self, small_workload):
+        cg, order, _ = small_workload
+        result = GSWORDEngine(WanderJoinEstimator()).run(cg, order, 512, rng=0)
+        broken = GPUSpec(launch_overhead_ms=0.0)
+        zeroed = replace(result, spec=broken, profile=KernelProfile(),
+                         longest_warp_cycles=0.0)
+        with pytest.raises(ConfigError):
+            zeroed.samples_per_second()
+
+
+class TestEngineSession:
+    """Round-capable incremental execution (the serving layer's entry)."""
+
+    @pytest.fixture(scope="class")
+    def noisy_workload(self):
+        """A workload whose HT values actually vary (invalid samples exist)
+        — the zero-variance ``small_workload`` can't exercise CI shrinkage
+        or distinguish RNG streams."""
+        graph = load_dataset("yeast")
+        query = extract_query(graph, 8, rng=1, query_type="dense")
+        cg = build_candidate_graph(graph, query)
+        order = quicksi_order(query, graph)
+        return cg, order
+
+    def test_rounds_accumulate(self, small_workload):
+        cg, order, _ = small_workload
+        engine = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword())
+        session = engine.session(cg, order, rng=5)
+        r1 = session.run_round(512)
+        r2 = session.run_round(512)
+        total = session.result()
+        assert session.n_rounds == 2
+        assert total.n_samples == r1.n_samples + r2.n_samples
+        assert total.n_warps == r1.n_warps + r2.n_warps
+        assert total.profile.total_cycles == pytest.approx(
+            r1.profile.total_cycles + r2.profile.total_cycles
+        )
+        assert total.accumulator.n == r1.accumulator.n + r2.accumulator.n
+
+    def test_session_deterministic_given_seed(self, small_workload):
+        cg, order, _ = small_workload
+        engine = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword())
+        a = engine.session(cg, order, rng=11)
+        b = engine.session(cg, order, rng=11)
+        for _ in range(3):
+            a.run_round(256)
+            b.run_round(256)
+        assert a.result().estimate == b.result().estimate
+        assert a.result().profile.total_cycles == b.result().profile.total_cycles
+
+    def test_rounds_use_distinct_streams(self, noisy_workload):
+        """Consecutive rounds must not replay the same RNG stream."""
+        cg, order = noisy_workload
+        engine = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword())
+        session = engine.session(cg, order, rng=3)
+        r1 = session.run_round(1024)
+        r2 = session.run_round(1024)
+        assert r1.accumulator._m2 != r2.accumulator._m2
+
+    def test_ci_tightens_over_rounds(self, noisy_workload):
+        cg, order = noisy_workload
+        engine = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword())
+        session = engine.session(cg, order, rng=4)
+        session.run_round(512)
+        early = session.result()
+        early_se = early.accumulator.std_error / max(early.estimate, 1e-12)
+        for _ in range(6):
+            session.run_round(2048)
+        late = session.result()
+        late_se = late.accumulator.std_error / max(late.estimate, 1e-12)
+        assert late_se < early_se
+
+    def test_result_before_rounds_raises(self, small_workload):
+        cg, order, _ = small_workload
+        engine = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword())
+        with pytest.raises(ConfigError):
+            engine.session(cg, order, rng=0).result()
+
+    def test_matches_monolithic_run_estimate_scale(self, small_workload):
+        """A sessioned run converges to the same truth as a monolithic run."""
+        cg, order, truth = small_workload
+        engine = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword())
+        session = engine.session(cg, order, rng=9)
+        for _ in range(8):
+            session.run_round(1024)
+        assert session.result().estimate == pytest.approx(truth, rel=0.5)
 
 
 class TestPerformanceShapes:
