@@ -8,7 +8,12 @@ Two subcommands make the system runnable without writing scripts:
 * ``repro serve-bench`` — the serving throughput benchmark: mixed
   concurrent queries through :class:`~repro.serve.EstimationService`,
   sweeping concurrency with the plan cache on/off, against the serial
-  (one-request-per-batch) baseline.
+  (one-request-per-batch) baseline;
+* ``repro chaos-bench`` — the fault-injection resilience benchmark:
+  the same service under seeded device-fault storms (corruption, stalls,
+  OOM, lane desync), verifying that retries, the watchdog, the circuit
+  breaker, and the CPU fallback keep every request answered with bounded
+  accuracy loss.
 
 Run ``python -m repro <cmd> --help`` (or ``repro <cmd> --help`` once
 installed) for options.
@@ -20,6 +25,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.bench.chaos import CHAOS_SEED, run_chaos_benchmark
 from repro.bench.reporting import render_table, save_results
 from repro.bench.serving import (
     DEFAULT_DATASETS,
@@ -92,6 +98,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="skip the cache-on configs"
     )
     bench.add_argument(
+        "--no-save", action="store_true", help="do not write results/ JSON"
+    )
+
+    chaos = sub.add_parser(
+        "chaos-bench",
+        help="fault-injection resilience benchmark (retries, breaker, fallback)",
+    )
+    chaos.add_argument(
+        "--requests", type=int, default=48, help="total requests per fault rate"
+    )
+    chaos.add_argument(
+        "--clients", type=int, default=8, help="concurrent clients per wave"
+    )
+    chaos.add_argument(
+        "--rates", default="0.0,0.10,0.25",
+        help="comma-separated launch-fault rates to sweep (0.0 = control)",
+    )
+    chaos.add_argument(
+        "--distinct", type=int, default=6, help="distinct queries in the pool"
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=CHAOS_SEED, help="root chaos seed"
+    )
+    chaos.add_argument(
+        "--watchdog-ms", type=float, default=5.0,
+        help="per-launch simulated-ms watchdog ceiling",
+    )
+    chaos.add_argument(
         "--no-save", action="store_true", help="do not write results/ JSON"
     )
     return parser
@@ -190,6 +224,62 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_rates(spec: str) -> List[float]:
+    try:
+        rates = [float(r) for r in spec.split(",") if r.strip()]
+    except ValueError:
+        raise ReproError(
+            f"--rates expects comma-separated floats, got {spec!r}"
+        ) from None
+    if not rates or any(not 0.0 <= r < 1.0 for r in rates):
+        raise ReproError(f"--rates expects values in [0, 1), got {spec!r}")
+    return rates
+
+
+def _cmd_chaos_bench(args: argparse.Namespace) -> int:
+    payload = run_chaos_benchmark(
+        fault_rates=tuple(_parse_rates(args.rates)),
+        n_requests=args.requests,
+        clients=args.clients,
+        distinct=args.distinct,
+        seed=args.seed,
+        watchdog_ms=args.watchdog_ms,
+    )
+    rows = []
+    for run in payload["runs"]:
+        res = run["resilience"]
+        rows.append([
+            run["fault_rate"],
+            f'{run["n_answered"]}/{run["n_requests"]}',
+            run["n_stranded"],
+            res["n_faults"],
+            res["n_retries"],
+            res["n_fallbacks"],
+            res["n_breaker_trips"],
+            run["n_degraded"],
+            run["mean_q_error"],
+            run["p95_latency_ms"],
+        ])
+    print(render_table(
+        ["fault rate", "answered", "stranded", "faults", "retries",
+         "fallbacks", "trips", "degraded", "mean q-err", "p95 ms"],
+        rows,
+        title=f"Chaos resilience ({args.requests} requests/rate, "
+              f"seed {args.seed})",
+    ))
+    acceptance = payload["acceptance"]
+    verdict = "PASS" if acceptance.get("passed") else "FAIL"
+    print(f"\nacceptance @ rate {acceptance.get('evaluated_rate')}: {verdict}")
+    for key in ("zero_stranded", "all_answered", "q_error_within_2x"):
+        if key in acceptance:
+            print(f"  {key}: {acceptance[key]}")
+    if not args.no_save:
+        path = save_results("chaos_resilience", payload)
+        if path is not None:
+            print(f"\nresults written to {path}")
+    return 0 if acceptance.get("passed") else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -197,6 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_estimate(args)
         if args.command == "serve-bench":
             return _cmd_serve_bench(args)
+        if args.command == "chaos-bench":
+            return _cmd_chaos_bench(args)
     except ReproError as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2

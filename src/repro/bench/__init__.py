@@ -1,5 +1,10 @@
 """Benchmark harness: workload registry, method runners, and reporting."""
 
+from repro.bench.chaos import (
+    run_chaos_benchmark,
+    run_chaos_run,
+    reference_estimates,
+)
 from repro.bench.harness import (
     METHOD_NAMES,
     MethodResult,
@@ -36,4 +41,7 @@ __all__ = [
     "build_request_pool",
     "request_stream",
     "run_serving_benchmark",
+    "run_chaos_benchmark",
+    "run_chaos_run",
+    "reference_estimates",
 ]

@@ -31,7 +31,12 @@ from repro.candidate.candidate_graph import CandidateGraph
 from repro.core.config import EngineConfig, SyncMode
 from repro.core.inheritance import apply_inheritance
 from repro.core.streaming import streaming_schedule
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    DeviceFault,
+    KernelTimeout,
+    SimulationError,
+)
 from repro.estimators.base import (
     RSVEstimator,
     SampleOutcome,
@@ -141,10 +146,21 @@ class GSWORDEngine:
         estimator: RSVEstimator,
         config: EngineConfig = EngineConfig(),
         spec: GPUSpec = DEFAULT_GPU,
+        device: Optional["DeviceModel"] = None,
+        injector: Optional[object] = None,
     ) -> None:
+        """``device`` carries the optional memory budget / watchdog guard
+        rails (defaults to a plain :class:`DeviceModel` over ``spec``);
+        ``injector`` is a :class:`~repro.faults.injector.FaultInjector`
+        consulted at every session-round launch (``None`` = healthy
+        device)."""
         self.estimator = estimator
         self.config = config
+        if device is not None and device.spec != spec:
+            raise ConfigError("device.spec must match the engine's spec")
         self.spec = spec
+        self.device = device if device is not None else DeviceModel(spec)
+        self.injector = injector
 
     def session(
         self,
@@ -534,6 +550,51 @@ class GSWORDEngine:
         return max_chain * spec.mem_latency_cycles + total_loads * spec.issue_cycles
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Round-retry parameters for :meth:`EngineSession.run_round_resilient`.
+
+    Backoff is *simulated* milliseconds (charged to the caller's clock, not
+    slept): ``backoff_ms · backoff_factor^attempt`` before retry
+    ``attempt`` (0-based), the usual exponential schedule that spaces
+    retries out under sustained faults.
+    """
+
+    max_retries: int = 3
+    backoff_ms: float = 0.5
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.backoff_ms < 0:
+            raise ConfigError("backoff_ms must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1.0")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Simulated-ms backoff before retry ``attempt`` (0-based)."""
+        return self.backoff_ms * self.backoff_factor ** attempt
+
+
+#: Errors a retried round may recover from.  ``SimulationError`` is the
+#: simulator's lane-desync failure; everything else transient is a
+#: :class:`DeviceFault` subclass.
+RECOVERABLE_ERRORS = (DeviceFault, SimulationError)
+
+
+@dataclass
+class RoundAttemptReport:
+    """What it took to land one round: the committed result plus the fault
+    bill (failed attempts, simulated backoff, and abort charges)."""
+
+    result: GPURunResult
+    n_faults: int = 0
+    n_retries: int = 0
+    fault_ms: float = 0.0
+    errors: List[BaseException] = field(default_factory=list)
+
+
 class EngineSession:
     """Incremental (round-by-round) execution state for one query.
 
@@ -547,6 +608,18 @@ class EngineSession:
 
     Round RNG streams are spawned from the session's root source, so a
     session seeded with an integer replays identically.
+
+    **Checkpoint semantics.**  The cumulative accumulator is only updated
+    by :meth:`_commit_round`, which runs *after* every fault check has
+    passed — a round aborted by injection, the memory budget, or the
+    watchdog contributes nothing, so completed rounds are never lost and a
+    discarded round never half-merges.  **Retry unbiasedness.**  Every
+    attempt (first try or retry) draws the *next* ``SeedSequence.spawn``
+    child of the session root, so a retried round is a fresh i.i.d. draw —
+    never a replay of the failed round's stream — and the Horvitz–Thompson
+    estimator stays unbiased under any fault/retry pattern (Thm. 1 needs
+    i.i.d. samples, not any *particular* samples; see
+    ``tests/test_engine_faults.py`` for the statistical check).
     """
 
     def __init__(
@@ -567,6 +640,14 @@ class EngineSession:
         self._n_samples = 0
         self._rounds = 0
         self._collected: List[Tuple[Tuple[int, ...], float]] = []
+        # Fault bookkeeping (monotone; the scheduler reads deltas).
+        self.n_faults = 0
+        self.n_retries = 0
+        self.fault_ms = 0.0
+        #: Errors of the most recent resilient round's attempts (including
+        #: the final one when retries were exhausted) — lets callers report
+        #: per-kind fault metrics even when the round ultimately raised.
+        self.last_attempt_errors: List[BaseException] = []
 
     @property
     def n_rounds(self) -> int:
@@ -577,6 +658,13 @@ class EngineSession:
         """Cumulative collected samples across rounds."""
         return self._n_samples
 
+    @property
+    def accumulator(self) -> HTAccumulator:
+        """The cumulative (checkpointed) HT accumulator — read-only view
+        for consumers that combine session evidence with other sources
+        (the serving layer's CPU fallback)."""
+        return self._acc
+
     def run_round(
         self, n_samples: int, collect_states: bool = False
     ) -> GPURunResult:
@@ -584,12 +672,105 @@ class EngineSession:
 
         Returns the *round's own* result (its profile is what a batch
         scheduler co-schedules); read :meth:`result` for the cumulative
-        view."""
+        view.  With a fault injector attached this is one *launch*: any
+        injected or organic device failure raises before the commit, so the
+        session state is untouched by failed rounds.
+        """
+        round_result = self._attempt_round(n_samples, collect_states)
+        self._commit_round(round_result)
+        return round_result
+
+    def run_round_resilient(
+        self,
+        n_samples: int,
+        retry: RetryPolicy = RetryPolicy(),
+        collect_states: bool = False,
+    ) -> RoundAttemptReport:
+        """Run one round, retrying transient device failures.
+
+        Each retry waits an exponentially growing *simulated* backoff and
+        redraws a fresh RNG substream (see the class docstring for why that
+        preserves unbiasedness).  Raises the last error once
+        ``retry.max_retries`` retries are exhausted; the fault bill of the
+        failed attempts is still recorded on the session either way.
+        """
+        report_errors: List[BaseException] = []
+        self.last_attempt_errors = report_errors
+        fault_ms = 0.0
+        attempt = 0
+        while True:
+            try:
+                round_result = self._attempt_round(n_samples, collect_states)
+            except RECOVERABLE_ERRORS as error:
+                self.n_faults += 1
+                report_errors.append(error)
+                fault_ms += self.abort_charge_ms(error)
+                if attempt >= retry.max_retries:
+                    self.fault_ms += fault_ms
+                    raise
+                fault_ms += retry.backoff_for(attempt)
+                self.n_retries += 1
+                attempt += 1
+                continue
+            self._commit_round(round_result)
+            self.fault_ms += fault_ms
+            return RoundAttemptReport(
+                result=round_result,
+                n_faults=len(report_errors),
+                n_retries=attempt,
+                fault_ms=fault_ms,
+                errors=report_errors,
+            )
+
+    # ------------------------------------------------------------------
+    # Launch internals
+    # ------------------------------------------------------------------
+    def _attempt_round(
+        self, n_samples: int, collect_states: bool
+    ) -> GPURunResult:
+        """One kernel launch: injection, admission, execution, watchdog.
+
+        Raises a typed error on any failure; returns the (uncommitted)
+        round result on success.
+        """
+        engine = self.engine
+        device = engine.device
+        faults = (
+            engine.injector.next_launch()
+            if engine.injector is not None
+            else None
+        )
+        # Memory admission: the candidate graph must be resident for the
+        # launch; injected OOM shrinks this launch's budget transiently.
+        pressure = faults.oom_pressure_bytes if faults is not None else 0
+        device.check_allocation(self.cg.nbytes, pressure_bytes=pressure)
+        if faults is not None and faults.corrupts:
+            raise DeviceFault(
+                "transient corruption detected in candidate-array reads "
+                f"(launch {faults.launch_index}); launch aborted",
+                kind="corruption",
+            )
+        if faults is not None and faults.desyncs:
+            raise SimulationError(
+                f"lane desynchronisation on launch {faults.launch_index}: "
+                "warp lanes disagree on iteration depth"
+            )
         round_rng = spawn_generators(self._root, 1)[0]
-        round_result = self.engine.run(
+        round_result = engine.run(
             self.cg, self.order, n_samples, rng=round_rng,
             collect_states=collect_states,
         )
+        if faults is not None and faults.stalls:
+            # The hang model: the launch burns stall_factor× its cycle
+            # budget.  Scaling the profile keeps the overrun visible to
+            # every downstream consumer of the round's timing.
+            round_result.profile.scale_cycles(faults.stall_factor)
+            round_result.longest_warp_cycles *= faults.stall_factor
+        device.check_watchdog(round_result.simulated_ms())
+        return round_result
+
+    def _commit_round(self, round_result: GPURunResult) -> None:
+        """Checkpoint: fold a *validated* round into the cumulative state."""
         self._acc.merge(round_result.accumulator)
         self._profile.merge(round_result.profile)
         self._longest = max(self._longest, round_result.longest_warp_cycles)
@@ -597,7 +778,16 @@ class EngineSession:
         self._n_samples += round_result.n_samples
         self._collected.extend(round_result.collected)
         self._rounds += 1
-        return round_result
+
+    def abort_charge_ms(self, error: BaseException) -> float:
+        """Simulated device time a failed attempt occupied.
+
+        A watchdog abort held the device for the full ceiling; every other
+        fault is detected at launch and costs one launch overhead.
+        """
+        if isinstance(error, KernelTimeout):
+            return error.watchdog_ms
+        return self.engine.spec.launch_overhead_ms
 
     def result(self) -> GPURunResult:
         """Cumulative result over all rounds run so far."""

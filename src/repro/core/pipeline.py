@@ -31,7 +31,7 @@ from repro.candidate.candidate_graph import CandidateGraph
 from repro.core.config import EngineConfig
 from repro.core.engine import GSWORDEngine
 from repro.core.trawling import TrawlingEstimator, TrawlTask, select_trawl_depth
-from repro.errors import ConfigError
+from repro.errors import ConfigError, EnumerationBudgetExceeded
 from repro.estimators.base import RSVEstimator
 from repro.estimators.ht import HTAccumulator
 from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
@@ -86,6 +86,8 @@ class BatchReport:
     n_trawls: int
     n_trawls_completed: int
     n_trawls_discarded: int
+    n_trawls_truncated: int = 0
+    partial_extensions: int = 0
 
     @property
     def overlapped_ms(self) -> float:
@@ -101,6 +103,14 @@ class PipelineResult:
     the CPU-side estimate over trawled samples; ``final_estimate`` prefers
     trawling whenever at least one enumeration completed (it strictly
     dominates in the underestimation regime the pipeline targets).
+
+    ``truncated`` reports that at least one CPU enumeration exceeded its
+    per-batch node budget (raised as :class:`EnumerationBudgetExceeded`
+    inside the pipeline and absorbed here as best-effort degradation):
+    the run still answers, the truncated trawls' *partial* extension
+    counts are surfaced in ``partial_extensions`` for observability, but —
+    per the paper's discard rule, and because partial counts would bias
+    Theorem 3's estimator — they never contribute to any estimate.
     """
 
     sampling_estimate: float
@@ -111,6 +121,13 @@ class PipelineResult:
     batches: List[BatchReport] = field(default_factory=list)
     sampling_accumulator: HTAccumulator = field(default_factory=HTAccumulator)
     trawling_accumulator: HTAccumulator = field(default_factory=HTAccumulator)
+    n_truncated: int = 0
+    partial_extensions: int = 0
+
+    @property
+    def truncated(self) -> bool:
+        """True when any trawl enumeration hit its budget (best-effort run)."""
+        return self.n_truncated > 0
 
     @property
     def final_estimate(self) -> float:
@@ -168,6 +185,8 @@ class CoProcessingPipeline:
         batches: List[BatchReport] = []
         n_enumerated = 0
         n_collected = 0
+        n_truncated = 0
+        partial_extensions = 0
         per_batch = n_samples // self.config.n_batches
 
         for b in range(self.config.n_batches):
@@ -187,6 +206,8 @@ class CoProcessingPipeline:
                 cg, order, cpu_rng, gpu_ms, trawl_acc
             )
             n_enumerated += report.n_trawls_completed
+            n_truncated += report.n_trawls_truncated
+            partial_extensions += report.partial_extensions
             batches.append(
                 BatchReport(
                     gpu_ms=gpu_ms,
@@ -195,6 +216,8 @@ class CoProcessingPipeline:
                     n_trawls=report.n_trawls,
                     n_trawls_completed=report.n_trawls_completed,
                     n_trawls_discarded=report.n_trawls_discarded,
+                    n_trawls_truncated=report.n_trawls_truncated,
+                    partial_extensions=report.partial_extensions,
                 )
             )
 
@@ -207,6 +230,8 @@ class CoProcessingPipeline:
             batches=batches,
             sampling_accumulator=sampling_acc,
             trawling_accumulator=trawl_acc,
+            n_truncated=n_truncated,
+            partial_extensions=partial_extensions,
         )
 
     # ------------------------------------------------------------------
@@ -238,6 +263,8 @@ class CoProcessingPipeline:
         workers = [budget] * self.config.cpu_threads
         completed = 0
         discarded = 0
+        truncated = 0
+        partial = 0
         for task in tasks:
             if task is None:
                 # Invalid prefix: a legitimate zero-valued trawl sample.
@@ -248,13 +275,23 @@ class CoProcessingPipeline:
             if node_budget <= 0:
                 discarded += 1
                 continue
-            self.trawler.enumerate_task(cg, order, task, max_nodes=node_budget)
-            workers[worker] -= task.enum_nodes
-            if task.completed:
-                completed += 1
-                trawl_acc.add(task.estimate_value)
-            else:
+            try:
+                self.trawler.enumerate_task(
+                    cg, order, task, max_nodes=node_budget, strict=True
+                )
+            except EnumerationBudgetExceeded as error:
+                # Best-effort degradation: the GPU window closed before the
+                # enumeration finished.  Discard the sample from the
+                # estimate (a partial count would bias it) but surface the
+                # partial evidence on the report.
+                workers[worker] -= task.enum_nodes
                 discarded += 1
+                truncated += 1
+                partial += error.partial_count
+                continue
+            workers[worker] -= task.enum_nodes
+            completed += 1
+            trawl_acc.add(task.estimate_value)
         used = [budget - w for w in workers]
         cpu_ms = (max(used) / self.config.enum_nodes_per_ms) if used else 0.0
         return BatchReport(
@@ -264,6 +301,8 @@ class CoProcessingPipeline:
             n_trawls=len(tasks),
             n_trawls_completed=completed,
             n_trawls_discarded=discarded,
+            n_trawls_truncated=truncated,
+            partial_extensions=partial,
         )
 
     def _enumerate_with_threads(
@@ -278,6 +317,8 @@ class CoProcessingPipeline:
         start = time.perf_counter()
         completed = 0
         discarded = 0
+        truncated = 0
+        partial = 0
         real_tasks = []
         for task in tasks:
             if task is None:
@@ -295,16 +336,20 @@ class CoProcessingPipeline:
                     task,
                     None,
                     deadline_s,
+                    True,  # strict: deadline overruns raise with partials
                 )
                 for task in real_tasks
             ]
             for future in futures:
-                task = future.result()
-                if task.completed:
-                    completed += 1
-                    trawl_acc.add(task.estimate_value)
-                else:
+                try:
+                    task = future.result()
+                except EnumerationBudgetExceeded as error:
                     discarded += 1
+                    truncated += 1
+                    partial += error.partial_count
+                    continue
+                completed += 1
+                trawl_acc.add(task.estimate_value)
         cpu_ms = (time.perf_counter() - start) * 1000.0
         return BatchReport(
             gpu_ms=gpu_ms,
@@ -313,4 +358,6 @@ class CoProcessingPipeline:
             n_trawls=len(tasks),
             n_trawls_completed=completed,
             n_trawls_discarded=discarded,
+            n_trawls_truncated=truncated,
+            partial_extensions=partial,
         )

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.candidate.candidate_graph import CandidateGraph
 from repro.enumeration.backtracking import count_extensions
-from repro.errors import ConfigError
+from repro.errors import ConfigError, EnumerationBudgetExceeded
 from repro.estimators.base import RSVEstimator
 from repro.estimators.ht import HTAccumulator
 from repro.query.matching_order import MatchingOrder
@@ -128,8 +128,17 @@ class TrawlingEstimator:
         task: TrawlTask,
         max_nodes: Optional[int] = None,
         deadline_s: Optional[float] = None,
+        strict: bool = False,
     ) -> TrawlTask:
-        """Run Alg. 4's ``Enumeration(cg, s)`` for one task, in place."""
+        """Run Alg. 4's ``Enumeration(cg, s)`` for one task, in place.
+
+        With ``strict=True`` a budget- or deadline-truncated enumeration
+        raises :class:`EnumerationBudgetExceeded` carrying the partial
+        count; the task is still updated in place first, so the caller can
+        inspect ``enum_nodes`` / ``extension_count`` while handling the
+        error.  The default lenient mode just leaves ``completed=False``
+        (the paper's discard rule applies either way — a partial count
+        must never enter the HT estimate)."""
         budget = max_nodes if max_nodes is not None else self.max_enum_nodes
         result = count_extensions(
             cg, order, task.prefix, max_nodes=budget, deadline_s=deadline_s
@@ -137,6 +146,12 @@ class TrawlingEstimator:
         task.extension_count = result.count
         task.enum_nodes = result.nodes_visited
         task.completed = result.complete
+        if strict and not result.complete:
+            raise EnumerationBudgetExceeded(
+                result.count,
+                f"trawl enumeration truncated after {result.nodes_visited} "
+                f"search-tree nodes (partial count {result.count})",
+            )
         return task
 
     def run(

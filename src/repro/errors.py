@@ -40,5 +40,58 @@ class ConfigError(ReproError):
     """Raised for invalid engine / pipeline configuration values."""
 
 
+class DeviceFault(ReproError):
+    """Raised when the simulated device fails a kernel launch.
+
+    Covers transient faults a resilient runtime is expected to survive —
+    detected data corruption (the ECC analog), lane desynchronisation, and
+    the specialised subclasses below.  ``kind`` is a short machine-readable
+    label (``"corruption"``, ``"timeout"``, ``"oom"``...) used by the
+    serving layer's fault metrics.
+    """
+
+    kind: str = "fault"
+
+    def __init__(self, message: str = "", kind: str = "") -> None:
+        super().__init__(message or "simulated device fault")
+        if kind:
+            self.kind = kind
+
+
+class KernelTimeout(DeviceFault):
+    """Raised by the per-launch watchdog when a kernel exceeds its
+    simulated-ms ceiling (the hung-kernel / cycle-budget-overrun model)."""
+
+    kind = "timeout"
+
+    def __init__(self, kernel_ms: float, watchdog_ms: float) -> None:
+        super().__init__(
+            f"kernel watchdog fired: launch ran {kernel_ms:.3f} simulated ms "
+            f"(ceiling {watchdog_ms:.3f} ms)"
+        )
+        self.kernel_ms = kernel_ms
+        self.watchdog_ms = watchdog_ms
+
+
+class DeviceOOM(DeviceFault):
+    """Raised when an allocation exceeds the simulated device memory budget."""
+
+    kind = "oom"
+
+    def __init__(self, requested_bytes: int, budget_bytes: int) -> None:
+        super().__init__(
+            f"device out of memory: allocation of {requested_bytes} bytes "
+            f"exceeds budget of {budget_bytes} bytes"
+        )
+        self.requested_bytes = requested_bytes
+        self.budget_bytes = budget_bytes
+
+
 class ServiceError(ReproError):
     """Raised for estimation-service misuse (bad request, stopped service)."""
+
+
+class ServiceTimeout(ServiceError):
+    """Raised by :meth:`Ticket.result` when the wait timeout elapses before
+    the response is ready — distinguishable from misuse ``ServiceError``\\ s
+    so callers can retry/poll instead of treating it as a bug."""

@@ -1,0 +1,50 @@
+"""Deterministic fault injection for the simulated device.
+
+The chaos-engineering layer of the reproduction: seeded
+:class:`FaultPlan` schedules decide — as a pure function of a launch
+index — which kernel launches suffer corruption, stalls, memory
+pressure, or lane desync; the :class:`FaultInjector` hands those
+schedules to the engine at launch boundaries.  The resilience machinery
+that survives them lives where the failures surface: typed
+:class:`~repro.errors.DeviceFault` errors in :mod:`repro.gpu.device`,
+checkpoint/retry in :class:`~repro.core.engine.EngineSession`, and the
+circuit breaker + CPU fallback in :mod:`repro.serve`.
+
+Quickstart::
+
+    from repro.faults import FaultPlan
+    from repro.serve import EstimationService, ServiceConfig
+
+    config = ServiceConfig(
+        faults=FaultPlan.uniform(seed=7, rate=0.10),
+        watchdog_ms=50.0,
+    )
+    service = EstimationService(config)   # survives a 10% fault rate
+"""
+
+from repro.errors import DeviceFault, DeviceOOM, KernelTimeout, SimulationError
+from repro.faults.injector import FaultInjector, fault_kind, maybe_injector
+from repro.faults.plan import (
+    FAULT_KIND_ORDER,
+    FaultKind,
+    FaultPlan,
+    LaunchFaults,
+)
+
+#: Errors the retry/fallback machinery treats as transient device failures.
+RECOVERABLE_DEVICE_ERRORS = (DeviceFault, SimulationError)
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "LaunchFaults",
+    "FaultInjector",
+    "fault_kind",
+    "maybe_injector",
+    "FAULT_KIND_ORDER",
+    "RECOVERABLE_DEVICE_ERRORS",
+    "DeviceFault",
+    "DeviceOOM",
+    "KernelTimeout",
+    "SimulationError",
+]

@@ -1,0 +1,98 @@
+"""The fault injector: the runtime half of deterministic chaos.
+
+A :class:`FaultInjector` owns a :class:`~repro.faults.plan.FaultPlan` and a
+monotonically increasing launch counter.  Every kernel launch (one
+``EngineSession`` round attempt) calls :meth:`next_launch` exactly once;
+the returned :class:`~repro.faults.plan.LaunchFaults` tells the engine
+which failures to manifest for that launch.  Because the plan is a pure
+function of ``(seed, launch index)``, the *schedule* is deterministic; the
+*assignment* of launches to requests depends on scheduling order, which the
+serving layer's simulated clock also keeps deterministic for a fixed
+workload.
+
+The injector is shared by every engine the service builds, so the counter
+must be thread-safe (the service's worker thread and inline ``drain`` calls
+may interleave).  It also tallies what it injected — the chaos bench
+cross-checks observed fault handling against these ground-truth counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.faults.plan import FAULT_KIND_ORDER, FaultPlan, LaunchFaults
+
+
+def fault_kind(error: BaseException) -> str:
+    """Short machine-readable label for a device failure (metrics key).
+
+    :class:`DeviceFault` subclasses carry their own ``kind``; the
+    simulator's :class:`SimulationError` is the lane-desync mode.
+    """
+    kind = getattr(error, "kind", None)
+    if isinstance(kind, str) and kind:
+        return kind
+    if isinstance(error, SimulationError):
+        return "desync"
+    return "fault"
+
+
+class FaultInjector:
+    """Thread-safe launch-indexed fault source for the simulated device."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._next_launch = 0
+        self._injected: Dict[str, int] = {
+            kind.value: 0 for kind in FAULT_KIND_ORDER
+        }
+        self._n_launches = 0
+        self._n_faulted_launches = 0
+
+    # ------------------------------------------------------------------
+    def next_launch(self) -> LaunchFaults:
+        """Claim the next launch index and return its scheduled faults."""
+        with self._lock:
+            index = self._next_launch
+            self._next_launch += 1
+            faults = self.plan.faults_for(index)
+            self._n_launches += 1
+            if faults:
+                self._n_faulted_launches += 1
+                for kind in faults.kinds:
+                    self._injected[kind.value] += 1
+        return faults
+
+    def peek_index(self) -> int:
+        """The index the next :meth:`next_launch` call will claim."""
+        with self._lock:
+            return self._next_launch
+
+    # ------------------------------------------------------------------
+    @property
+    def n_launches(self) -> int:
+        with self._lock:
+            return self._n_launches
+
+    @property
+    def n_faulted_launches(self) -> int:
+        with self._lock:
+            return self._n_faulted_launches
+
+    def stats(self) -> Dict[str, object]:
+        """Ground-truth injection tallies (chaos-bench cross-check)."""
+        with self._lock:
+            return {
+                "n_launches": self._n_launches,
+                "n_faulted_launches": self._n_faulted_launches,
+                "injected": dict(self._injected),
+                "expected_fault_rate": self.plan.expected_fault_rate(),
+            }
+
+
+def maybe_injector(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+    """``None``-propagating constructor used by config plumbing."""
+    return FaultInjector(plan) if plan is not None else None

@@ -1,0 +1,210 @@
+"""Deterministic fault schedules for the simulated device.
+
+Real GPU sampling deployments (C-SAW, FlexiWalker) contend with hung
+kernels, device memory exhaustion, and transient data corruption — but a
+real CUDA stack cannot *reproduce* those failures on demand.  Our SIMT
+simulator can: a :class:`FaultPlan` is a pure function from a seed and a
+launch index to the set of faults that launch suffers, so a chaos run
+replays bit-identically under the same seed regardless of thread
+interleaving, retry order, or how many launches already happened.
+
+Fault kinds (each maps to a typed error the resilience machinery handles):
+
+* :attr:`FaultKind.CORRUPTION` — transient corruption of candidate-array
+  reads, detected at launch like an ECC double-bit error → raises
+  :class:`~repro.errors.DeviceFault` with ``kind="corruption"``.
+* :attr:`FaultKind.STALL` — a kernel hang modeled as a cycle-budget
+  overrun: the launch's simulated duration is inflated by
+  ``stall_factor``; if a watchdog ceiling is configured the launch is
+  aborted with :class:`~repro.errors.KernelTimeout`.
+* :attr:`FaultKind.OOM` — a transient memory-pressure event (a co-tenant
+  grabbing device memory): the launch's effective memory budget shrinks by
+  ``oom_pressure`` so :class:`CandidateGraph` residency fails with
+  :class:`~repro.errors.DeviceOOM`.
+* :attr:`FaultKind.DESYNC` — lane desynchronisation, the simulator's
+  internal-consistency failure → raises
+  :class:`~repro.errors.SimulationError`.
+
+Determinism: per-launch draws use :func:`repro.utils.rng.derive_seed` over
+``(plan seed, launch index)``, never a shared mutable stream — two
+injectors with the same plan agree on every launch, and launch ``i``'s
+faults do not depend on whether launch ``i-1`` was retried.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import derive_seed
+
+
+class FaultKind(str, enum.Enum):
+    """The injectable failure modes of the simulated device."""
+
+    CORRUPTION = "corruption"
+    STALL = "stall"
+    OOM = "oom"
+    DESYNC = "desync"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Stable draw order so adding a kind never perturbs earlier kinds' draws.
+FAULT_KIND_ORDER: Tuple[FaultKind, ...] = (
+    FaultKind.CORRUPTION,
+    FaultKind.STALL,
+    FaultKind.OOM,
+    FaultKind.DESYNC,
+)
+
+
+@dataclass(frozen=True)
+class LaunchFaults:
+    """The faults one kernel launch suffers (empty = healthy launch)."""
+
+    launch_index: int
+    kinds: Tuple[FaultKind, ...] = ()
+    stall_factor: float = 1.0
+    oom_pressure_bytes: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.kinds)
+
+    @property
+    def corrupts(self) -> bool:
+        return FaultKind.CORRUPTION in self.kinds
+
+    @property
+    def stalls(self) -> bool:
+        return FaultKind.STALL in self.kinds
+
+    @property
+    def oom(self) -> bool:
+        return FaultKind.OOM in self.kinds
+
+    @property
+    def desyncs(self) -> bool:
+        return FaultKind.DESYNC in self.kinds
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic fault schedule.
+
+    Attributes:
+        seed: root seed; together with a launch index it fully determines
+            that launch's faults.
+        rates: per-kind Bernoulli probability that the kind fires on any
+            given launch (independent draws per kind).
+        stall_factor: simulated-duration multiplier of a stalled launch.
+        oom_pressure_bytes: device bytes a transient OOM event steals from
+            the launch's memory budget.
+        overrides: explicit ``launch_index -> kinds`` schedule entries that
+            replace the random draw for those launches (unit tests and
+            targeted repros use this to script exact failure sequences).
+    """
+
+    seed: int = 0
+    rates: Mapping[FaultKind, float] = field(default_factory=dict)
+    stall_factor: float = 64.0
+    oom_pressure_bytes: int = 1 << 62
+    overrides: Mapping[int, Tuple[FaultKind, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for kind, rate in self.rates.items():
+            if not isinstance(kind, FaultKind):
+                raise ConfigError(f"unknown fault kind {kind!r}")
+            if not (0.0 <= rate <= 1.0):
+                raise ConfigError(
+                    f"fault rate for {kind.value} must be in [0, 1], got {rate}"
+                )
+        if self.stall_factor < 1.0:
+            raise ConfigError("stall_factor must be >= 1.0")
+        if self.oom_pressure_bytes < 0:
+            raise ConfigError("oom_pressure_bytes must be non-negative")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rates(
+        cls,
+        seed: int = 0,
+        corruption: float = 0.0,
+        stall: float = 0.0,
+        oom: float = 0.0,
+        desync: float = 0.0,
+        **kwargs: object,
+    ) -> "FaultPlan":
+        """Convenience constructor from per-kind rates (keyword style)."""
+        rates: Dict[FaultKind, float] = {}
+        for kind, rate in (
+            (FaultKind.CORRUPTION, corruption),
+            (FaultKind.STALL, stall),
+            (FaultKind.OOM, oom),
+            (FaultKind.DESYNC, desync),
+        ):
+            if rate:
+                rates[kind] = float(rate)
+        return cls(seed=seed, rates=rates, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def uniform(cls, seed: int, rate: float, **kwargs: object) -> "FaultPlan":
+        """All four kinds at the same per-launch rate (chaos-bench default).
+
+        ``rate`` is the *total* per-launch fault probability; it is split
+        evenly across the kinds so the aggregate round fault rate stays
+        ~``rate`` instead of compounding to ``1-(1-rate)^4``.
+        """
+        if not (0.0 <= rate <= 1.0):
+            raise ConfigError(f"rate must be in [0, 1], got {rate}")
+        per_kind = rate / len(FAULT_KIND_ORDER)
+        return cls(
+            seed=seed,
+            rates={kind: per_kind for kind in FAULT_KIND_ORDER},
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------
+    def faults_for(self, launch_index: int) -> LaunchFaults:
+        """The faults launch ``launch_index`` suffers — a pure function of
+        ``(self.seed, launch_index)``."""
+        if launch_index in self.overrides:
+            kinds = tuple(self.overrides[launch_index])
+        else:
+            kinds = self._draw(launch_index)
+        return LaunchFaults(
+            launch_index=launch_index,
+            kinds=kinds,
+            stall_factor=self.stall_factor if FaultKind.STALL in kinds else 1.0,
+            oom_pressure_bytes=(
+                self.oom_pressure_bytes if FaultKind.OOM in kinds else 0
+            ),
+        )
+
+    def _draw(self, launch_index: int) -> Tuple[FaultKind, ...]:
+        if not self.rates:
+            return ()
+        rng = np.random.default_rng(
+            derive_seed(self.seed, "fault-plan", launch_index)
+        )
+        # One draw per kind in the stable order; a kind with rate 0 (or
+        # absent) still consumes its draw so schedules are comparable
+        # across plans that differ in one rate only.
+        draws = rng.random(len(FAULT_KIND_ORDER))
+        return tuple(
+            kind
+            for kind, u in zip(FAULT_KIND_ORDER, draws)
+            if u < self.rates.get(kind, 0.0)
+        )
+
+    def expected_fault_rate(self) -> float:
+        """Probability that a launch suffers at least one fault."""
+        healthy = 1.0
+        for kind in FAULT_KIND_ORDER:
+            healthy *= 1.0 - self.rates.get(kind, 0.0)
+        return 1.0 - healthy

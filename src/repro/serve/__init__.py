@@ -24,8 +24,10 @@ Quickstart::
     print(service.metrics_snapshot())
 """
 
+from repro.serve.breaker import BreakerPolicy, BreakerState, CircuitBreaker
 from repro.serve.cache import CachedPlan, PlanCache, build_plan
 from repro.serve.controller import (
+    REASON_FALLBACK,
     AdaptiveBudgetController,
     BudgetPolicy,
     relative_ci,
@@ -60,4 +62,8 @@ __all__ = [
     "percentile",
     "resolve_estimator",
     "estimator_name",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "REASON_FALLBACK",
 ]

@@ -36,6 +36,7 @@ REASON_CONVERGED = "converged"
 REASON_DEADLINE = "deadline"
 REASON_BUDGET = "budget"
 REASON_EMPTY = "empty"
+REASON_FALLBACK = "fallback"
 
 
 @dataclass(frozen=True)
@@ -104,6 +105,11 @@ class AdaptiveBudgetController:
 
     @property
     def degraded(self) -> bool:
+        if self._stop_reason == REASON_FALLBACK:
+            # CPU-fallback answers are best-effort by definition: the
+            # device path failed, so the response is flagged even when the
+            # fallback samples happen to converge.
+            return True
         return not self.converged and self._stop_reason != REASON_EMPTY
 
     @property
@@ -185,3 +191,14 @@ class AdaptiveBudgetController:
         """Mark a provably-zero-count request (empty candidate graph)."""
         self.rel_ci = 0.0
         self._stop_reason = REASON_EMPTY
+
+    def finish_fallback(self, acc: HTAccumulator, n_samples: int) -> None:
+        """Mark a request answered by the CPU fallback path.
+
+        ``acc`` is the combined evidence (completed device rounds plus the
+        fallback run) so the reported relative CI reflects everything the
+        response's estimate is based on.
+        """
+        self.n_samples += n_samples
+        self.rel_ci = relative_ci(acc, self.policy.z)
+        self._stop_reason = REASON_FALLBACK

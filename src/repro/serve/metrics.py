@@ -14,7 +14,7 @@ bucketing would only lose information.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -84,6 +84,16 @@ class ServiceMetrics:
     batch_sizes: List[int] = field(default_factory=list)
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+    # Resilience counters (repro.faults / breaker / CPU fallback).
+    n_faults: int = 0
+    n_retries: int = 0
+    n_round_failures: int = 0
+    n_fallbacks: int = 0
+    n_breaker_trips: int = 0
+    n_breaker_rejections: int = 0
+    n_worker_crashes: int = 0
+    fault_ms: float = 0.0
+    faults_by_kind: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def record_submit(self, queue_depth: int) -> None:
@@ -109,6 +119,37 @@ class ServiceMetrics:
 
     def record_failure(self) -> None:
         self.n_failed += 1
+
+    # Resilience events ------------------------------------------------
+    def record_round_faults(
+        self, n_faults: int, n_retries: int, fault_ms: float,
+        kinds: Optional[List[str]] = None,
+    ) -> None:
+        """Fold one round's fault bill in (survived *and* fatal attempts)."""
+        self.n_faults += n_faults
+        self.n_retries += n_retries
+        self.fault_ms += fault_ms
+        for kind in kinds or []:
+            self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
+
+    def record_round_failure(self) -> None:
+        """One round failed for good (its retry budget is spent)."""
+        self.n_round_failures += 1
+
+    def record_fallback(self) -> None:
+        """One request was answered by the CPU fallback path."""
+        self.n_fallbacks += 1
+
+    def record_breaker_trip(self) -> None:
+        self.n_breaker_trips += 1
+
+    def record_breaker_rejection(self) -> None:
+        """A round skipped the device because its breaker was open."""
+        self.n_breaker_rejections += 1
+
+    def record_worker_crash(self) -> None:
+        """The background worker survived an unexpected processing error."""
+        self.n_worker_crashes += 1
 
     # ------------------------------------------------------------------
     @property
@@ -142,4 +183,15 @@ class ServiceMetrics:
             "max_queue_depth": self.max_queue_depth,
             "latency_ms": self.latency.snapshot(),
             "queue_wait_ms": self.queue_wait.snapshot(),
+            "resilience": {
+                "n_faults": self.n_faults,
+                "n_retries": self.n_retries,
+                "n_round_failures": self.n_round_failures,
+                "n_fallbacks": self.n_fallbacks,
+                "n_breaker_trips": self.n_breaker_trips,
+                "n_breaker_rejections": self.n_breaker_rejections,
+                "n_worker_crashes": self.n_worker_crashes,
+                "fault_ms": self.fault_ms,
+                "faults_by_kind": dict(self.faults_by_kind),
+            },
         }

@@ -30,8 +30,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
-from repro.core.engine import EngineSession, GPURunResult
+from repro.core.engine import (
+    RECOVERABLE_ERRORS,
+    EngineSession,
+    GPURunResult,
+    RetryPolicy,
+)
 from repro.errors import ServiceError
+from repro.faults import fault_kind
 from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
 from repro.gpu.device import DeviceModel
 
@@ -41,11 +47,13 @@ class RoundTask:
     """One schedulable unit: run ``n_samples`` on a request's session.
 
     ``payload`` is opaque to the scheduler (the service stores its pending-
-    request record there)."""
+    request record there).  ``retry`` enables in-round retry of transient
+    device faults (``None`` = fail fast, the pre-resilience behaviour)."""
 
     session: EngineSession
     n_samples: int
     payload: object = None
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_samples <= 0:
@@ -61,13 +69,33 @@ class RoundTask:
 
 @dataclass
 class BatchResult:
-    """One executed batch: per-task round results plus fused accounting."""
+    """One executed batch: per-task round results plus fused accounting.
+
+    Fault isolation: ``round_results[i]`` is ``None`` exactly when
+    ``failures[i]`` carries the error that killed task ``i``'s round after
+    its retry budget — one sick round never poisons its batchmates.
+    ``fault_ms`` is the simulated time the batch lost to failed attempts
+    and retry backoff (already included in ``batch_ms``).
+    """
 
     tasks: List[RoundTask]
-    round_results: List[GPURunResult]
+    round_results: List[Optional[GPURunResult]]
     batch_ms: float
     n_warps: int
     n_samples: int
+    failures: List[Optional[BaseException]] = field(default_factory=list)
+    fault_ms: float = 0.0
+    n_faults: int = 0
+    n_retries: int = 0
+    fault_kinds: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.failures:
+            self.failures = [None] * len(self.tasks)
+
+    @property
+    def n_failed_rounds(self) -> int:
+        return sum(1 for f in self.failures if f is not None)
 
     @property
     def samples_per_second(self) -> float:
@@ -120,7 +148,16 @@ class BatchScheduler:
         return batch
 
     def execute(self, tasks: List[RoundTask]) -> BatchResult:
-        """Run every task's round and account them as one fused launch."""
+        """Run every task's round and account them as one fused launch.
+
+        Transient device faults are isolated per task: a round that fails
+        after its retry budget yields ``round_results[i] = None`` and its
+        error in ``failures[i]``; the rest of the batch completes normally.
+        Retry backoff and aborted attempts are charged to ``batch_ms`` on
+        top of the co-resident duration of the successful rounds — a
+        conservative model in which recovery work serialises after the
+        fused launch rather than hiding inside it.
+        """
         if not tasks:
             raise ServiceError("cannot execute an empty batch")
         for task in tasks:
@@ -128,17 +165,71 @@ class BatchScheduler:
                 raise ServiceError(
                     "all batched sessions must run on the scheduler's device"
                 )
-        results = [task.session.run_round(task.n_samples) for task in tasks]
-        batch_ms = self.device.coresident_ms(
-            [r.profile for r in results],
-            [r.longest_warp_cycles for r in results],
-        )
+        results: List[Optional[GPURunResult]] = []
+        failures: List[Optional[BaseException]] = []
+        fault_ms = 0.0
+        n_faults = 0
+        n_retries = 0
+        fault_kinds: List[str] = []
+        for task in tasks:
+            session = task.session
+            # Snapshot the session's fault bill so the failure path can
+            # charge exactly this round's share (the counters are
+            # cumulative across the session's lifetime).
+            pre_fault_ms = session.fault_ms
+            pre_faults = session.n_faults
+            pre_retries = session.n_retries
+            try:
+                if task.retry is not None:
+                    report = session.run_round_resilient(
+                        task.n_samples, task.retry
+                    )
+                    fault_ms += report.fault_ms
+                    n_faults += report.n_faults
+                    n_retries += report.n_retries
+                    fault_kinds.extend(fault_kind(e) for e in report.errors)
+                    results.append(report.result)
+                else:
+                    results.append(session.run_round(task.n_samples))
+                failures.append(None)
+            except RECOVERABLE_ERRORS as error:
+                fault_ms += session.fault_ms - pre_fault_ms
+                n_faults += session.n_faults - pre_faults
+                n_retries += session.n_retries - pre_retries
+                if task.retry is None:
+                    # Fail-fast rounds bypass the session's bookkeeping;
+                    # bill the single aborted attempt here.
+                    n_faults += 1
+                    fault_ms += session.abort_charge_ms(error)
+                    fault_kinds.append(fault_kind(error))
+                else:
+                    # The resilient path recorded every attempt's error
+                    # (including the one that exhausted the retries).
+                    fault_kinds.extend(
+                        fault_kind(e) for e in session.last_attempt_errors
+                    )
+                results.append(None)
+                failures.append(error)
+        ok = [r for r in results if r is not None]
+        batch_ms = (
+            self.device.coresident_ms(
+                [r.profile for r in ok],
+                [r.longest_warp_cycles for r in ok],
+            )
+            if ok
+            else self.spec.launch_overhead_ms
+        ) + fault_ms
         return BatchResult(
             tasks=tasks,
             round_results=results,
             batch_ms=batch_ms,
-            n_warps=sum(r.n_warps for r in results),
-            n_samples=sum(r.n_samples for r in results),
+            n_warps=sum(r.n_warps for r in ok),
+            n_samples=sum(r.n_samples for r in ok),
+            failures=failures,
+            fault_ms=fault_ms,
+            n_faults=n_faults,
+            n_retries=n_retries,
+            fault_kinds=fault_kinds,
         )
 
     def run_tick(self, queue: Deque[RoundTask]) -> Optional[BatchResult]:

@@ -35,10 +35,15 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.core.config import EngineConfig
-from repro.core.engine import GSWORDEngine
-from repro.errors import ServiceError
+from repro.core.engine import GSWORDEngine, RetryPolicy
+from repro.errors import ServiceError, ServiceTimeout
 from repro.estimators.base import RSVEstimator
+from repro.estimators.cpu_runner import CPUSamplingRunner
+from repro.estimators.ht import HTAccumulator
+from repro.faults import FaultInjector, FaultPlan, fault_kind, maybe_injector
 from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
+from repro.gpu.device import DeviceModel
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker
 from repro.serve.cache import PlanCache, build_plan
 from repro.serve.controller import AdaptiveBudgetController, BudgetPolicy
 from repro.serve.metrics import ServiceMetrics
@@ -66,6 +71,19 @@ class ServiceConfig:
             :class:`~repro.serve.scheduler.BatchScheduler`.
         policy: adaptive-budget defaults, see :class:`BudgetPolicy`.
         order_method: matching-order heuristic for built plans.
+        faults: optional deterministic fault schedule injected into every
+            engine launch (chaos testing; ``None`` = healthy device).
+        memory_budget_bytes: simulated device memory capacity; candidate
+            graphs that do not fit fail admission with ``DeviceOOM``.
+        watchdog_ms: per-launch simulated-ms ceiling; overruns abort the
+            round with ``KernelTimeout`` instead of hanging the service.
+        retry: in-round retry policy for transient device faults (``None``
+            disables retries — each fault immediately fails the round).
+        breaker: per-estimator circuit-breaker parameters.
+        cpu_fallback: degrade failed requests to the scalar
+            :class:`CPUSamplingRunner` (``degraded=True`` responses)
+            instead of erroring their tickets.
+        fallback_threads: simulated CPU worker threads the fallback uses.
     """
 
     spec: GPUSpec = DEFAULT_GPU
@@ -75,6 +93,13 @@ class ServiceConfig:
     warp_overcommit: float = 1.0
     policy: BudgetPolicy = field(default_factory=BudgetPolicy)
     order_method: str = "quicksi"
+    faults: Optional[FaultPlan] = None
+    memory_budget_bytes: Optional[int] = None
+    watchdog_ms: Optional[float] = None
+    retry: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    cpu_fallback: bool = True
+    fallback_threads: int = 0
 
 
 class Ticket:
@@ -90,9 +115,15 @@ class Ticket:
         return self._event.is_set()
 
     def result(self, timeout: Optional[float] = None) -> EstimateResponse:
-        """Block until the response is ready (raises on processing error)."""
+        """Block until the response is ready (raises on processing error).
+
+        Raises :class:`ServiceTimeout` when ``timeout`` (wall-clock seconds)
+        elapses first — distinguishable from a processing failure, which
+        re-raises the original error."""
         if not self._event.wait(timeout):
-            raise ServiceError(f"request {self.request_id} not done yet")
+            raise ServiceTimeout(
+                f"request {self.request_id} not done within {timeout}s"
+            )
         if self._error is not None:
             raise self._error
         assert self._response is not None
@@ -122,6 +153,9 @@ class _Pending:
     cache_hit: bool = False
     queue_ms: float = 0.0
     first_service_ms: Optional[float] = None
+    extra_ms: float = 0.0  # simulated time outside device batches (fallback)
+    override_acc: Optional[HTAccumulator] = None  # fallback-combined evidence
+    extras: Dict[str, object] = field(default_factory=dict)
 
 
 class EstimationService:
@@ -139,6 +173,12 @@ class EstimationService:
             else None
         )
         self.metrics = ServiceMetrics()
+        self.device = DeviceModel(
+            config.spec,
+            memory_budget_bytes=config.memory_budget_bytes,
+            watchdog_ms=config.watchdog_ms,
+        )
+        self.injector: Optional[FaultInjector] = maybe_injector(config.faults)
         self._queue: Deque[RoundTask] = deque()
         self._arrivals: Deque[_Pending] = deque()
         self._lock = threading.Lock()
@@ -146,6 +186,9 @@ class EstimationService:
         self._clock_ms = 0.0
         self._ids = itertools.count(1)
         self._engines: Dict[int, GSWORDEngine] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._fallback_runners: Dict[str, CPUSamplingRunner] = {}
+        self._inflight: List[RoundTask] = []
         self._worker: Optional[threading.Thread] = None
         self._stopping = False
 
@@ -205,6 +248,13 @@ class EstimationService:
         snap["queue_depth"] = self.queue_depth()
         snap["clock_ms"] = self._clock_ms
         snap["cache"] = self.cache.stats() if self.cache else {"enabled": False}
+        snap["breakers"] = {
+            name: breaker.snapshot(self._clock_ms)
+            for name, breaker in self._breakers.items()
+        }
+        snap["faults_injected"] = (
+            self.injector.stats() if self.injector else {"enabled": False}
+        )
         return snap
 
     # ------------------------------------------------------------------
@@ -222,6 +272,7 @@ class EstimationService:
         with self._lock:
             self._admit_arrivals_locked()
             batch = self.scheduler.form_batch(self._queue)
+            self._inflight = batch
         if not batch:
             return False
         result = self.scheduler.execute(batch)
@@ -232,8 +283,27 @@ class EstimationService:
                 n_samples=result.n_samples,
                 batch_ms=result.batch_ms,
             )
-            for task, round_result in zip(batch, result.round_results):
-                self._after_round(task, round_result.n_samples, result.batch_ms)
+            if result.n_faults or result.n_retries or result.fault_ms:
+                self.metrics.record_round_faults(
+                    result.n_faults,
+                    result.n_retries,
+                    result.fault_ms,
+                    result.fault_kinds,
+                )
+            for task, round_result, error in zip(
+                batch, result.round_results, result.failures
+            ):
+                pending: _Pending = task.payload
+                if error is not None:
+                    self._on_round_failure(pending, error)
+                elif round_result is not None:
+                    self._breaker_for_name(
+                        estimator_name(pending.request.estimator)
+                    ).record_success(self._clock_ms)
+                    self._after_round(
+                        task, round_result.n_samples, result.batch_ms
+                    )
+            self._inflight = []
         return True
 
     def start(self) -> None:
@@ -264,12 +334,31 @@ class EstimationService:
 
     def _worker_loop(self) -> None:
         while True:
-            did_work = self.process_once()
+            try:
+                did_work = self.process_once()
+            except Exception as error:  # noqa: BLE001 - keep the worker alive
+                self._recover_from_crash(error)
+                did_work = True  # state changed; re-check the queue at once
             with self._wakeup:
                 if self._stopping:
                     return
                 if not did_work and self.queue_depth() == 0:
                     self._wakeup.wait(timeout=0.1)
+
+    def _recover_from_crash(self, error: BaseException) -> None:
+        """Contain an unexpected ``process_once`` crash to the batch it hit.
+
+        Every in-flight ticket is failed with the crash error (no request
+        is ever stranded waiting on a dead round) and the worker resumes
+        its loop — one poisoned batch must not take down the service."""
+        with self._lock:
+            self.metrics.record_worker_crash()
+            for task in self._inflight:
+                pending: _Pending = task.payload
+                if not pending.ticket.done():
+                    self.metrics.record_failure()
+                    pending.ticket._fail(error)
+            self._inflight = []
 
     # ------------------------------------------------------------------
     # Internals (all called with self._lock held)
@@ -281,10 +370,31 @@ class EstimationService:
         engine = self._engines.get(key)
         if engine is None:
             engine = GSWORDEngine(
-                estimator, self.config.engine_config, self.config.spec
+                estimator,
+                self.config.engine_config,
+                self.config.spec,
+                device=self.device,
+                injector=self.injector,
             )
             self._engines[key] = engine
         return engine
+
+    def _breaker_for_name(self, name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(self.config.breaker)
+            self._breakers[name] = breaker
+        return breaker
+
+    def _fallback_runner_for(self, pending: _Pending) -> CPUSamplingRunner:
+        name = estimator_name(pending.request.estimator)
+        runner = self._fallback_runners.get(name)
+        if runner is None:
+            runner = CPUSamplingRunner(
+                pending.estimator, threads=self.config.fallback_threads
+            )
+            self._fallback_runners[name] = runner
+        return runner
 
     def _admit_arrivals_locked(self) -> None:
         while self._arrivals:
@@ -330,18 +440,44 @@ class EstimationService:
         self._enqueue_next_round(pending)
 
     def _elapsed_ms(self, pending: _Pending) -> float:
-        return self._clock_ms - pending.arrival_ms + pending.build_ms
+        return (
+            self._clock_ms
+            - pending.arrival_ms
+            + pending.build_ms
+            + pending.extra_ms
+        )
 
     def _enqueue_next_round(self, pending: _Pending) -> None:
         n = pending.controller.next_round_samples(self._elapsed_ms(pending))
         if n <= 0:
             self._complete(pending)
             return
+        breaker = self._breaker_for_name(
+            estimator_name(pending.request.estimator)
+        )
+        if not breaker.allow(self._clock_ms):
+            # The device path for this estimator is tripped: don't queue a
+            # round that is expected to fail — degrade immediately.
+            self.metrics.record_breaker_rejection()
+            name = estimator_name(pending.request.estimator)
+            self._degrade_or_fail(
+                pending,
+                ServiceError(
+                    f"circuit breaker {breaker.state(self._clock_ms).value} "
+                    f"for estimator {name!r}; device path unavailable"
+                ),
+            )
+            return
         if pending.first_service_ms is None:
             pending.queue_ms = self._clock_ms - pending.arrival_ms
             pending.first_service_ms = self._clock_ms
         self._queue.append(
-            RoundTask(session=pending.session, n_samples=n, payload=pending)
+            RoundTask(
+                session=pending.session,
+                n_samples=n,
+                payload=pending,
+                retry=self.config.retry,
+            )
         )
 
     def _after_round(
@@ -354,9 +490,78 @@ class EstimationService:
         )
         self._enqueue_next_round(pending)
 
+    def _on_round_failure(self, pending: _Pending, error: BaseException) -> None:
+        """A round died after its retry budget: update the estimator's
+        breaker, then degrade (CPU fallback) or fail the ticket."""
+        self.metrics.record_round_failure()
+        breaker = self._breaker_for_name(
+            estimator_name(pending.request.estimator)
+        )
+        if breaker.record_failure(self._clock_ms):
+            self.metrics.record_breaker_trip()
+        self._degrade_or_fail(pending, error)
+
+    def _degrade_or_fail(self, pending: _Pending, error: BaseException) -> None:
+        if self.config.cpu_fallback and pending.session is not None:
+            try:
+                self._complete_fallback(pending, error)
+                return
+            except Exception as fallback_error:  # noqa: BLE001 - last resort
+                error = fallback_error
+        self.metrics.record_failure()
+        pending.ticket._fail(error)
+
+    def _complete_fallback(
+        self, pending: _Pending, error: BaseException
+    ) -> None:
+        """Answer a device-failed request on the scalar CPU baseline.
+
+        The fallback runs one CPU round sized like a device round, merges
+        it with whatever rounds the session already *committed* (failed
+        rounds were discarded at the checkpoint, so the combined evidence
+        is clean), and completes the ticket with ``degraded=True`` and
+        ``stop_reason="fallback"``.  The CPU run's simulated time is
+        charged to this request alone (``extra_ms``), not to the device
+        clock — the fallback runs host-side, off the device's critical
+        path."""
+        session = pending.session
+        policy = self.config.policy
+        remaining = max(
+            1, pending.request.max_samples - pending.controller.n_samples
+        )
+        n = max(
+            policy.min_round_samples,
+            min(remaining, policy.max_round_samples),
+        )
+        runner = self._fallback_runner_for(pending)
+        cpu = runner.run(
+            session.cg,
+            session.order,
+            n,
+            rng=derive_seed(0xFA11BAC, pending.ticket.request_id),
+        )
+        combined = HTAccumulator()
+        combined.merge(session.accumulator)
+        combined.merge(cpu.accumulator)
+        pending.extra_ms += cpu.simulated_ms
+        pending.override_acc = combined
+        pending.extras = {
+            "fallback": True,
+            "fallback_samples": cpu.n_samples,
+            "device_error": f"{type(error).__name__}: {error}",
+        }
+        pending.controller.finish_fallback(combined, cpu.n_samples)
+        self.metrics.record_fallback()
+        self._complete(pending)
+
     def _complete(self, pending: _Pending) -> None:
         controller = pending.controller
-        if pending.session is not None:
+        if pending.override_acc is not None:  # CPU-fallback evidence
+            acc = pending.override_acc
+            estimate = acc.estimate
+            n_samples = acc.n
+            n_valid = acc.n_valid
+        elif pending.session is not None:
             cumulative = pending.session.result()
             estimate = cumulative.estimate
             n_samples = cumulative.n_samples
@@ -380,6 +585,7 @@ class EstimationService:
             service_ms=max(0.0, service_ms),
             cache_hit=pending.cache_hit,
             estimator=estimator_name(pending.request.estimator),
+            extras=pending.extras,
         )
         self.metrics.record_completion(
             latency_ms=latency,

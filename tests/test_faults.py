@@ -1,0 +1,174 @@
+"""Tests for the deterministic fault-injection framework (repro/faults)."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DeviceFault,
+    DeviceOOM,
+    EnumerationBudgetExceeded,
+    KernelTimeout,
+    SimulationError,
+)
+from repro.faults import (
+    FAULT_KIND_ORDER,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    fault_kind,
+    maybe_injector,
+)
+
+
+class TestFaultPlan:
+    def test_deterministic_per_launch(self):
+        plan = FaultPlan.uniform(seed=42, rate=0.5)
+        first = [plan.faults_for(i).kinds for i in range(200)]
+        second = [plan.faults_for(i).kinds for i in range(200)]
+        assert first == second
+
+    def test_independent_of_query_order(self):
+        plan = FaultPlan.uniform(seed=42, rate=0.5)
+        forward = {i: plan.faults_for(i).kinds for i in range(50)}
+        backward = {i: plan.faults_for(i).kinds for i in reversed(range(50))}
+        assert forward == backward
+
+    def test_two_plans_same_seed_agree(self):
+        a = FaultPlan.uniform(seed=7, rate=0.3)
+        b = FaultPlan.uniform(seed=7, rate=0.3)
+        assert all(
+            a.faults_for(i) == b.faults_for(i) for i in range(100)
+        )
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.uniform(seed=1, rate=0.5)
+        b = FaultPlan.uniform(seed=2, rate=0.5)
+        assert any(
+            a.faults_for(i).kinds != b.faults_for(i).kinds for i in range(100)
+        )
+
+    def test_zero_rate_never_faults(self):
+        plan = FaultPlan.uniform(seed=3, rate=0.0)
+        assert not any(plan.faults_for(i) for i in range(500))
+
+    def test_rate_one_always_faults(self):
+        plan = FaultPlan.from_rates(seed=3, corruption=1.0)
+        assert all(plan.faults_for(i).corrupts for i in range(100))
+
+    def test_empirical_rate_tracks_expected(self):
+        plan = FaultPlan.uniform(seed=11, rate=0.2)
+        n = 4000
+        hits = sum(bool(plan.faults_for(i)) for i in range(n))
+        expected = plan.expected_fault_rate()
+        assert hits / n == pytest.approx(expected, abs=0.03)
+
+    def test_overrides_replace_draws(self):
+        plan = FaultPlan(
+            seed=0,
+            overrides={3: (FaultKind.STALL,), 5: (FaultKind.OOM,)},
+        )
+        assert not plan.faults_for(0)
+        faults = plan.faults_for(3)
+        assert faults.stalls and faults.stall_factor == plan.stall_factor
+        oom = plan.faults_for(5)
+        assert oom.oom and oom.oom_pressure_bytes == plan.oom_pressure_bytes
+
+    def test_stall_and_pressure_only_when_kind_fires(self):
+        plan = FaultPlan(seed=0, overrides={0: (FaultKind.CORRUPTION,)})
+        faults = plan.faults_for(0)
+        assert faults.corrupts
+        assert faults.stall_factor == 1.0
+        assert faults.oom_pressure_bytes == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(rates={FaultKind.STALL: 1.5})
+        with pytest.raises(ConfigError):
+            FaultPlan(stall_factor=0.5)
+        with pytest.raises(ConfigError):
+            FaultPlan.uniform(seed=0, rate=2.0)
+
+    def test_uniform_splits_rate_across_kinds(self):
+        plan = FaultPlan.uniform(seed=0, rate=0.2)
+        assert all(
+            plan.rates[kind] == pytest.approx(0.05)
+            for kind in FAULT_KIND_ORDER
+        )
+        assert plan.expected_fault_rate() <= 0.2
+
+
+class TestFaultInjector:
+    def test_counts_and_indices(self):
+        plan = FaultPlan(
+            seed=0, overrides={1: (FaultKind.CORRUPTION, FaultKind.STALL)}
+        )
+        injector = FaultInjector(plan)
+        assert injector.peek_index() == 0
+        assert not injector.next_launch()
+        assert injector.next_launch().corrupts
+        stats = injector.stats()
+        assert stats["n_launches"] == 2
+        assert stats["n_faulted_launches"] == 1
+        assert stats["injected"]["corruption"] == 1
+        assert stats["injected"]["stall"] == 1
+
+    def test_thread_safe_monotone_indices(self):
+        injector = FaultInjector(FaultPlan.uniform(seed=5, rate=0.3))
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(100):
+                faults = injector.next_launch()
+                with lock:
+                    seen.append(faults.launch_index)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(seen) == list(range(400))
+        assert injector.n_launches == 400
+
+    def test_maybe_injector(self):
+        assert maybe_injector(None) is None
+        assert isinstance(maybe_injector(FaultPlan()), FaultInjector)
+
+
+class TestFaultKindLabel:
+    def test_typed_device_faults(self):
+        assert fault_kind(DeviceFault("x", kind="corruption")) == "corruption"
+        assert fault_kind(KernelTimeout(10.0, 5.0)) == "timeout"
+        assert fault_kind(DeviceOOM(100, 10)) == "oom"
+
+    def test_simulation_error_is_desync(self):
+        assert fault_kind(SimulationError("lanes disagree")) == "desync"
+
+    def test_generic_fallback(self):
+        assert fault_kind(DeviceFault()) == "fault"
+
+
+class TestErrorHierarchy:
+    def test_device_faults_under_repro_error(self):
+        from repro.errors import ReproError
+
+        for error in (DeviceFault(), KernelTimeout(2.0, 1.0), DeviceOOM(2, 1)):
+            assert isinstance(error, ReproError)
+            assert isinstance(error, DeviceFault)
+
+    def test_oom_carries_sizes(self):
+        error = DeviceOOM(1024, 512)
+        assert error.requested_bytes == 1024
+        assert error.budget_bytes == 512
+
+    def test_timeout_carries_times(self):
+        error = KernelTimeout(12.5, 5.0)
+        assert error.kernel_ms == 12.5
+        assert error.watchdog_ms == 5.0
+
+    def test_enumeration_budget_partial_count(self):
+        error = EnumerationBudgetExceeded(17)
+        assert error.partial_count == 17
