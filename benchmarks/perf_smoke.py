@@ -1,0 +1,181 @@
+"""CI perf-regression smoke test (the ``perf-smoke`` job).
+
+Runs a trimmed micro-benchmark suite on one fixed seed/graph and compares
+against the checked-in baselines in ``benchmarks/baselines.json``:
+
+* **exact gates** — HT estimates and simulated milliseconds are
+  deterministic per seed, so any drift from the baseline fails the build
+  outright (a semantics change snuck into the cost model or kernels);
+* **wall-clock gates** — wall time is noisy on shared runners, so the
+  absolute check only fails beyond ``--wall-tolerance`` × baseline
+  (default 4×, which still catches losing vectorization's ~order of
+  magnitude), while the sharp check is self-relative: the vectorized
+  backend must beat the scalar backend by ``--min-speedup`` within the
+  same process.
+
+Refresh the baselines after an intentional change with::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --update-baselines
+
+Regression drill: set ``PERF_SMOKE_SYNTHETIC_DELAY_MS=200`` to inject a
+per-run sleep into the timed sections and watch the job fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.workloads import build_workload
+from repro.core.config import EngineConfig
+from repro.core.engine import GSWORDEngine
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.wanderjoin import WanderJoinEstimator
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines.json"
+SEED = 20240613
+N_SAMPLES = 2048
+WALL_REPEATS = 3
+
+CASES = [
+    ("wj_yeast_q6", WanderJoinEstimator, "yeast", 6),
+    ("alley_yeast_q6", AlleyEstimator, "yeast", 6),
+    ("wj_dblp_q8", WanderJoinEstimator, "dblp", 8),
+    ("alley_orkut_q6", AlleyEstimator, "orkut", 6),
+]
+
+
+def _synthetic_delay() -> None:
+    delay_ms = float(os.environ.get("PERF_SMOKE_SYNTHETIC_DELAY_MS", "0"))
+    if delay_ms > 0:
+        time.sleep(delay_ms / 1000.0)
+
+
+def _run_case(estimator_cls, dataset: str, k: int, backend: str):
+    workload = build_workload(dataset, k, "dense", 0)
+    engine = GSWORDEngine(
+        estimator_cls(), EngineConfig.gsword(backend=backend)
+    )
+    best_wall = float("inf")
+    result = None
+    for _ in range(WALL_REPEATS):
+        start = time.perf_counter()
+        result = engine.run(workload.cg, workload.order, N_SAMPLES, rng=SEED)
+        _synthetic_delay()
+        best_wall = min(best_wall, time.perf_counter() - start)
+    return result, best_wall * 1000.0
+
+
+def measure() -> dict:
+    """Run every case on both backends; returns the measurement dict."""
+    entries = {}
+    for name, estimator_cls, dataset, k in CASES:
+        vec, vec_wall = _run_case(estimator_cls, dataset, k, "vectorized")
+        sca, sca_wall = _run_case(estimator_cls, dataset, k, "scalar")
+        if vec.estimate != sca.estimate or vec.simulated_ms() != sca.simulated_ms():
+            raise SystemExit(
+                f"{name}: backends disagree (estimate {vec.estimate} vs "
+                f"{sca.estimate}, simulated {vec.simulated_ms()} vs "
+                f"{sca.simulated_ms()}) — equivalence broken"
+            )
+        lane_steps = vec.profile.warp.lane_total
+        entries[name] = {
+            "estimate": vec.estimate,
+            "simulated_ms": vec.simulated_ms(),
+            "wall_ms_vectorized": vec_wall,
+            "wall_ms_scalar": sca_wall,
+            "speedup": sca_wall / vec_wall if vec_wall > 0 else float("inf"),
+            "lane_steps_per_sec": (
+                lane_steps / (vec_wall / 1000.0) if vec_wall > 0 else 0.0
+            ),
+        }
+    return {"format": 1, "seed": SEED, "n_samples": N_SAMPLES, "entries": entries}
+
+
+def compare(current: dict, baseline: dict, wall_tolerance: float,
+            min_speedup: float) -> list:
+    failures = []
+    base_entries = baseline.get("entries", {})
+    for name, cur in current["entries"].items():
+        base = base_entries.get(name)
+        if base is None:
+            failures.append(f"{name}: no baseline entry (run --update-baselines)")
+            continue
+        if cur["estimate"] != base["estimate"]:
+            failures.append(
+                f"{name}: estimate {cur['estimate']} != baseline "
+                f"{base['estimate']} (deterministic — must match exactly)"
+            )
+        if cur["simulated_ms"] != base["simulated_ms"]:
+            failures.append(
+                f"{name}: simulated_ms {cur['simulated_ms']} != baseline "
+                f"{base['simulated_ms']} (deterministic — must match exactly)"
+            )
+        limit = base["wall_ms_vectorized"] * wall_tolerance
+        if cur["wall_ms_vectorized"] > limit:
+            failures.append(
+                f"{name}: wall {cur['wall_ms_vectorized']:.1f}ms exceeds "
+                f"{wall_tolerance:.1f}x baseline "
+                f"({base['wall_ms_vectorized']:.1f}ms)"
+            )
+        if cur["speedup"] < min_speedup:
+            failures.append(
+                f"{name}: vectorized only {cur['speedup']:.2f}x faster than "
+                f"scalar (gate: {min_speedup:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="write current measurements to benchmarks/baselines.json",
+    )
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=4.0,
+        help="max allowed wall-clock ratio vs baseline (default 4.0)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.5,
+        help="min vectorized-over-scalar wall speedup (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+    for name, entry in current["entries"].items():
+        print(
+            f"{name:<20} est={entry['estimate']:<12.4f} "
+            f"sim={entry['simulated_ms']:.3f}ms "
+            f"wall={entry['wall_ms_vectorized']:.1f}ms "
+            f"speedup={entry['speedup']:.2f}x "
+            f"({entry['lane_steps_per_sec']:.0f} lane-steps/s)"
+        )
+
+    if args.update_baselines:
+        BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baselines written to {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.is_file():
+        print("no baselines.json — run with --update-baselines first")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = compare(
+        current, baseline, args.wall_tolerance, args.min_speedup
+    )
+    if failures:
+        print("\nPERF SMOKE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

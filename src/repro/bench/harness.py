@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.bench.workloads import Workload
 from repro.core.config import EngineConfig

@@ -10,7 +10,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 Number = Union[int, float]
 
@@ -41,7 +41,8 @@ def render_table(
         lines.append(title)
         lines.append("-" * max(len(title), sum(widths) + 2 * len(widths)))
     for r, row in enumerate(cells):
-        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)).rstrip())
+        padded = "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row))
+        lines.append(padded.rstrip())
         if r == 0:
             lines.append("  ".join("-" * widths[c] for c in range(len(widths))))
     return "\n".join(lines)

@@ -283,7 +283,9 @@ def build_candidate_graph(
     candidates = label_degree_filter(graph, query, use_degree=use_degree)
     if use_nlf:
         candidates = nlf_filter(graph, query, candidates)
-    candidates = refine_global_candidates(graph, query, candidates, passes=refine_passes)
+    candidates = refine_global_candidates(
+        graph, query, candidates, passes=refine_passes
+    )
 
     n_q = query.n_vertices
     q_offsets = np.zeros(n_q + 1, dtype=np.int64)
@@ -307,7 +309,7 @@ def build_candidate_graph(
 
     ecand_offsets = np.zeros(n_edges + 1, dtype=np.int64)
     ecand_chunks: List[np.ndarray] = []
-    local_lengths: List[int] = []
+    length_chunks: List[np.ndarray] = []
     local_chunks: List[np.ndarray] = []
     for u in range(n_q):
         for pos in range(int(q_offsets[u]), int(q_offsets[u + 1])):
@@ -316,18 +318,38 @@ def build_candidate_graph(
             ecand_chunks.append(source_cands)
             ecand_offsets[pos + 1] = ecand_offsets[pos] + len(source_cands)
             target_mask = membership[u_prime]
-            for v in source_cands:
-                nbrs = graph.neighbors_of(int(v))
-                local = nbrs[target_mask[nbrs]].astype(np.int64)
-                local_chunks.append(local)
-                local_lengths.append(len(local))
+            # One flat gather of every source candidate's adjacency list,
+            # filtered against the target membership mask; per-candidate
+            # lengths recovered by counting kept entries per owner.
+            starts = graph.offsets[source_cands]
+            counts = graph.offsets[source_cands + 1] - starts
+            total = int(counts.sum())
+            bases = np.zeros(len(counts), dtype=np.int64)
+            np.cumsum(counts[:-1], out=bases[1:])
+            flat_idx = (
+                np.repeat(starts, counts)
+                + np.arange(total, dtype=np.int64)
+                - np.repeat(bases, counts)
+            )
+            nbrs = graph.neighbors[flat_idx]
+            keep = target_mask[nbrs]
+            owner = np.repeat(
+                np.arange(len(counts), dtype=np.int64), counts
+            )
+            local_chunks.append(nbrs[keep].astype(np.int64))
+            length_chunks.append(
+                np.bincount(owner[keep], minlength=len(counts))
+            )
 
     ecand_vertices = (
         np.concatenate(ecand_chunks) if ecand_chunks else np.zeros(0, dtype=np.int64)
     ).astype(np.int64)
     local_offsets = np.zeros(len(ecand_vertices) + 1, dtype=np.int64)
-    if local_lengths:
-        np.cumsum(np.asarray(local_lengths, dtype=np.int64), out=local_offsets[1:])
+    if length_chunks:
+        np.cumsum(
+            np.concatenate(length_chunks).astype(np.int64),
+            out=local_offsets[1:],
+        )
     local_vertices = (
         np.concatenate(local_chunks) if local_chunks else np.zeros(0, dtype=np.int64)
     ).astype(np.int64)

@@ -17,7 +17,8 @@ slower for RW estimators because of its scattered access pattern).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.errors import ConfigError
@@ -28,6 +29,19 @@ class SyncMode(str, enum.Enum):
 
     SAMPLE = "sample"
     ITERATION = "iteration"
+
+
+#: Valid values of :attr:`EngineConfig.backend`.
+BACKENDS = ("vectorized", "scalar")
+
+
+def default_backend() -> str:
+    """Session default for :attr:`EngineConfig.backend`.
+
+    ``vectorized`` unless the ``REPRO_BACKEND`` environment variable says
+    otherwise — handy for A/B timing runs without touching call sites.
+    """
+    return os.environ.get("REPRO_BACKEND", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -47,6 +61,12 @@ class EngineConfig:
             trawling to produce partial instances); ``None`` = full query.
         streaming_threshold: minimum remaining candidates for the
             collaborative phase (32 in the paper — one per lane).
+        backend: warp-execution backend.  ``"vectorized"`` (the default,
+            overridable via ``REPRO_BACKEND``) runs lanes as
+            struct-of-arrays waves; ``"scalar"`` is the lane-at-a-time
+            reference path.  Estimates and profiles are bit-identical; the
+            engine silently falls back to scalar for custom estimators the
+            vector kernels don't cover.
     """
 
     sync_mode: SyncMode = SyncMode.SAMPLE
@@ -55,10 +75,15 @@ class EngineConfig:
     tasks_per_warp: int = 128
     max_depth: Optional[int] = None
     streaming_threshold: int = 32
+    backend: str = field(default_factory=default_backend)
 
     def __post_init__(self) -> None:
         if not isinstance(self.sync_mode, SyncMode):
             object.__setattr__(self, "sync_mode", SyncMode(self.sync_mode))
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
         if self.inheritance and self.sync_mode is SyncMode.ITERATION:
             raise ConfigError(
                 "sample inheritance requires sample synchronisation: lanes "
@@ -108,3 +133,6 @@ class EngineConfig:
 
     def with_max_depth(self, max_depth: Optional[int]) -> "EngineConfig":
         return replace(self, max_depth=max_depth)
+
+    def with_backend(self, backend: str) -> "EngineConfig":
+        return replace(self, backend=backend)

@@ -99,6 +99,9 @@ class GPURunResult:
     longest_warp_cycles: float
     spec: GPUSpec
     collected: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
+    #: Warp-execution backend that produced this result ("vectorized" or
+    #: "scalar"); both yield bit-identical numbers, so this is telemetry.
+    backend: str = "scalar"
 
     @property
     def valid_ratio(self) -> float:
@@ -196,7 +199,10 @@ class GSWORDEngine:
             raise ConfigError("n_samples must be positive")
         tasks_per_warp = self.config.tasks_per_warp
         max_warps = math.ceil(n_samples / tasks_per_warp)
-        warp_rngs = spawn_generators(rng, max_warps)
+        provider = self._vector_provider(cg, order, n_samples, rng, collect_states)
+        warp_rngs = (
+            spawn_generators(rng, max_warps) if provider is None else []
+        )
         kernel = KernelProfile()
         acc = HTAccumulator()
         collected: List[Tuple[Tuple[int, ...], float]] = []
@@ -206,9 +212,12 @@ class GSWORDEngine:
         total_collected = 0
         while remaining > 0 and n_warps < max_warps:
             quota = min(tasks_per_warp, remaining)
-            warp = self._run_warp(
-                cg, order, quota, warp_rngs[n_warps], collect_states
-            )
+            if provider is not None:
+                warp = provider.warp(n_warps, quota)
+            else:
+                warp = self._run_warp(
+                    cg, order, quota, warp_rngs[n_warps], collect_states
+                )
             warp_acc, warp_profile, warp_valid, warp_collect, warp_count = warp
             acc.merge(warp_acc)
             kernel.add_warp(warp_profile, samples=warp_count, valid=warp_valid)
@@ -229,6 +238,30 @@ class GSWORDEngine:
             longest_warp_cycles=longest,
             spec=self.spec,
             collected=collected,
+            backend="scalar" if provider is None else "vectorized",
+        )
+
+    def _vector_provider(
+        self,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        n_samples: int,
+        rng: RandomSource,
+        collect_states: bool,
+    ):
+        """The vectorized wave executor when the config asks for it and a
+        vector kernel covers the estimator; ``None`` means scalar."""
+        if self.config.backend != "vectorized":
+            return None
+        from repro.estimators.vectorized import vector_kernel_for
+
+        kernel_cls = vector_kernel_for(self.estimator)
+        if kernel_cls is None:
+            return None
+        from repro.core.vectorized import VectorWarpProvider
+
+        return VectorWarpProvider(
+            self, kernel_cls, cg, order, n_samples, rng, collect_states
         )
 
     # ------------------------------------------------------------------

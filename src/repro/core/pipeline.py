@@ -23,20 +23,20 @@ from __future__ import annotations
 import concurrent.futures
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.candidate.candidate_graph import CandidateGraph
 from repro.core.config import EngineConfig
 from repro.core.engine import GSWORDEngine
-from repro.core.trawling import TrawlingEstimator, TrawlTask, select_trawl_depth
+from repro.core.trawling import TrawlingEstimator, TrawlTask
 from repro.errors import ConfigError, EnumerationBudgetExceeded
 from repro.estimators.base import RSVEstimator
 from repro.estimators.ht import HTAccumulator
 from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
 from repro.query.matching_order import MatchingOrder
-from repro.utils.rng import RandomSource, as_generator, spawn_generators
+from repro.utils.rng import RandomSource, spawn_generators
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ embedding extending it.  The combined per-sample estimate is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -1,0 +1,568 @@
+"""Vectorized (struct-of-arrays) warp execution — the engine's fast path.
+
+The scalar engine walks one lane at a time through Python ``SampleState``
+objects.  This module keeps lane state as ``(n_warps, warp_size)`` arrays
+(instances, probabilities, depths, active/running masks) and advances every
+live warp one RSV super-step at a time:
+
+1. :meth:`VectorKernel.prepare` runs GetMinCandidate + Refine for the flat
+   batch of all running lanes (any mix of warps and depths);
+2. the per-warp generators draw each warp's lane indices with one
+   array-bound ``integers`` call (bit-identical to the scalar path's
+   sequential draws, including state advancement);
+3. :meth:`VectorKernel.finish` validates, the winners are scattered back
+   into the state arrays, and the cost model is charged per warp from the
+   same flat arrays (:func:`repro.gpu.memory.batched_union_counts` computes
+   every warp's coalescing union in one sort).
+
+Bit-identity with the scalar path — same estimates, same inheritance
+decisions, same per-kernel cycle counters — is a tested invariant, so the
+charge sequence below mirrors ``GSWORDEngine._charge_iteration`` operation
+for operation (including Python-``sum`` accumulation where float ordering
+matters).
+
+Warps are executed in *waves* with optimistic task quotas ``min(tpw,
+n - w·tpw)``.  The scalar loop sizes warp ``w``'s quota from the live
+remaining count, which only differs from the guess when inheritance
+over-collects; the fold detects that and re-runs the affected warp from
+its spawned ``SeedSequence`` child (replayable by construction).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.candidate.candidate_graph import CandidateGraph
+from repro.core.config import SyncMode
+from repro.core.engine import (
+    _CAND_SCAN_OPS,
+    _ITER_BASE_OPS,
+    _PROBE_LOADS,
+    _SAMPLE_OPS,
+    _VALIDATE_OPS,
+)
+from repro.estimators.ht import HTAccumulator
+from repro.estimators.vectorized import StepPrep, StepResult, VectorKernel
+from repro.gpu.memory import (
+    ARRAY_GLOBAL_CANDIDATES,
+    ARRAY_LOCAL_CANDIDATES,
+    batched_union_counts,
+    warp_instruction_cost,
+)
+from repro.gpu.profiler import WarpProfile
+from repro.query.matching_order import MatchingOrder
+from repro.utils.rng import RandomSource, generator_from_state, spawn_generator_states
+
+#: Warps stepped together per wave.  Bounds transient state-array memory and
+#: keeps :func:`batched_union_counts` row keys comfortably inside int64.
+_WAVE_CHUNK = 1024
+
+#: One warp-result tuple: ``(acc, profile, n_valid, collected, count)`` —
+#: the same shape ``GSWORDEngine._run_warp`` returns.
+WarpResult = Tuple[
+    HTAccumulator, WarpProfile, int, List[Tuple[Tuple[int, ...], float]], int
+]
+
+
+class _WarpTask:
+    """Mutable per-warp bookkeeping inside one wave."""
+
+    __slots__ = (
+        "row",
+        "rng",
+        "profile",
+        "acc",
+        "collected",
+        "n_valid",
+        "n_collected",
+        "remaining",
+        "batch",
+        "round_inherited",
+        "active",
+        "running",
+        "d",
+        "need_batch",
+        "fetched",
+        "pool",
+    )
+
+    def __init__(self, row: int, rng: np.random.Generator) -> None:
+        self.row = row
+        self.rng = rng
+        self.profile = WarpProfile()
+        self.acc = HTAccumulator()
+        self.collected: List[Tuple[Tuple[int, ...], float]] = []
+        self.n_valid = 0
+        self.n_collected = 0
+
+
+class VectorWarpProvider:
+    """Wave-executes all of a run's warps; hands results to the fold loop.
+
+    Construction runs every warp at its optimistic quota.  :meth:`warp`
+    returns the cached result when the fold confirms the quota, or re-runs
+    that single warp (from the same spawned child state, so the random
+    stream is identical) when inheritance made the true quota smaller.
+    """
+
+    def __init__(
+        self,
+        engine,
+        kernel_cls,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        n_samples: int,
+        rng: RandomSource,
+        collect_states: bool,
+    ) -> None:
+        self.engine = engine
+        self.kernel: VectorKernel = kernel_cls(cg, order)
+        self.collect_states = collect_states
+        self.W = engine.spec.warp_size
+        self.target = engine._target_depth(order)
+        self.n_q = len(order)
+        tpw = engine.config.tasks_per_warp
+        self.max_warps = math.ceil(n_samples / tpw)
+        self.states = spawn_generator_states(rng, self.max_warps)
+        self.guesses = [
+            min(tpw, n_samples - w * tpw) for w in range(self.max_warps)
+        ]
+        self.results: List[WarpResult] = []
+        for lo in range(0, self.max_warps, _WAVE_CHUNK):
+            ids = list(range(lo, min(lo + _WAVE_CHUNK, self.max_warps)))
+            self.results.extend(
+                self._wave(ids, [self.guesses[w] for w in ids])
+            )
+
+    def warp(self, w: int, quota: int) -> WarpResult:
+        if quota == self.guesses[w]:
+            return self.results[w]
+        return self._wave([w], [quota])[0]
+
+    # ------------------------------------------------------------------
+    # Wave execution
+    # ------------------------------------------------------------------
+    def _wave(self, warp_ids: Sequence[int], quotas: Sequence[int]) -> List[WarpResult]:
+        tasks = []
+        for row, (w, quota) in enumerate(zip(warp_ids, quotas)):
+            t = _WarpTask(row, generator_from_state(self.states[w]))
+            t.remaining = quota
+            t.pool = quota
+            tasks.append(t)
+        if self.engine.config.sync_mode is SyncMode.SAMPLE:
+            self._wave_sample(tasks)
+        else:
+            self._wave_iteration(tasks)
+        return [
+            (t.acc, t.profile, t.n_valid, t.collected, t.n_collected)
+            for t in tasks
+        ]
+
+    def _wave_sample(self, tasks: List[_WarpTask]) -> None:
+        W, target, n_q = self.W, self.target, self.n_q
+        spec = self.engine.spec
+        inherit = self.engine.config.inheritance
+        K = len(tasks)
+        inst = np.full((K, W, n_q), -1, dtype=np.int64)
+        prob = np.ones((K, W), dtype=np.float64)
+        depth = np.zeros((K, W), dtype=np.int64)
+        for t in tasks:
+            t.need_batch = True
+        live = list(tasks)
+
+        while live:
+            for t in live:
+                if t.need_batch:
+                    t.batch = min(W, t.remaining)
+                    r = t.row
+                    inst[r] = -1
+                    prob[r] = 1.0
+                    depth[r] = 0
+                    t.active = np.zeros(W, dtype=bool)
+                    t.active[: t.batch] = True
+                    t.running = t.active.copy()
+                    t.d = 0
+                    t.round_inherited = 0
+                    t.need_batch = False
+
+            lanes_list = [np.nonzero(t.running)[0] for t in live]
+            counts = np.array([len(x) for x in lanes_list], dtype=np.int64)
+            row_of = np.repeat(
+                np.array([t.row for t in live], dtype=np.int64), counts
+            )
+            step_row_of = np.repeat(np.arange(len(live), dtype=np.int64), counts)
+            lane_of = np.concatenate(lanes_list)
+            depths_flat = np.repeat(
+                np.array([t.d for t in live], dtype=np.int64), counts
+            )
+            prep = self.kernel.prepare(inst[row_of, lane_of], depths_flat)
+            idx = self._draw(live, counts, prep)
+            res = self.kernel.finish(prep, idx)
+            self._push(inst, prob, depth, row_of, lane_of, depths_flat, res)
+            validm = self._charge_step(
+                live, step_row_of, lane_of, prep, res, depths_flat,
+                busy=counts, sample_sync=True,
+            )
+
+            next_live = []
+            for s, t in enumerate(live):
+                vrow = validm[s]
+                if inherit:
+                    self._inherit(t, vrow, inst, prob, depth, spec)
+                else:
+                    t.running &= vrow
+                t.d += 1
+                if t.d >= target or not t.running.any():
+                    self._finish_batch(t, inst, prob, depth)
+                    if t.remaining > 0:
+                        t.need_batch = True
+                        next_live.append(t)
+                else:
+                    next_live.append(t)
+            live = next_live
+
+    def _wave_iteration(self, tasks: List[_WarpTask]) -> None:
+        W, target, n_q = self.W, self.target, self.n_q
+        K = len(tasks)
+        inst = np.full((K, W, n_q), -1, dtype=np.int64)
+        prob = np.ones((K, W), dtype=np.float64)
+        depth = np.zeros((K, W), dtype=np.int64)
+        for t in tasks:
+            t.fetched = min(W, t.pool)
+            t.active = np.zeros(W, dtype=bool)
+            t.active[: t.fetched] = True
+        live = list(tasks)
+
+        while live:
+            lanes_list = [np.nonzero(t.active)[0] for t in live]
+            counts = np.array([len(x) for x in lanes_list], dtype=np.int64)
+            row_of = np.repeat(
+                np.array([t.row for t in live], dtype=np.int64), counts
+            )
+            step_row_of = np.repeat(np.arange(len(live), dtype=np.int64), counts)
+            lane_of = np.concatenate(lanes_list)
+            depths_flat = depth[row_of, lane_of]
+            prep = self.kernel.prepare(inst[row_of, lane_of], depths_flat)
+            idx = self._draw(live, counts, prep)
+            res = self.kernel.finish(prep, idx)
+            self._push(inst, prob, depth, row_of, lane_of, depths_flat, res)
+            validm = self._charge_step(
+                live, step_row_of, lane_of, prep, res, depths_flat,
+                busy=counts, sample_sync=False,
+            )
+
+            next_live = []
+            for s, t in enumerate(live):
+                r = t.row
+                vrow = validm[s]
+                for lane in lanes_list[s]:
+                    lane = int(lane)
+                    if not vrow[lane]:
+                        t.acc.add(0.0)
+                    elif depth[r, lane] == target:
+                        pv = float(prob[r, lane])
+                        t.acc.add(1.0 / pv)
+                        t.n_valid += 1
+                        if self.collect_states:
+                            t.collected.append(
+                                (
+                                    tuple(int(x) for x in inst[r, lane, :target]),
+                                    pv,
+                                )
+                            )
+                    else:
+                        continue
+                    # Iteration synchronisation: restart immediately if the
+                    # pool still has tasks, otherwise the lane retires.
+                    if t.fetched < t.pool:
+                        t.fetched += 1
+                        inst[r, lane] = -1
+                        prob[r, lane] = 1.0
+                        depth[r, lane] = 0
+                    else:
+                        t.active[lane] = False
+                if t.active.any():
+                    next_live.append(t)
+                else:
+                    t.n_collected = t.fetched
+            live = next_live
+
+    # ------------------------------------------------------------------
+    # Step pieces
+    # ------------------------------------------------------------------
+    def _draw(
+        self, live: List[_WarpTask], counts: np.ndarray, prep: StepPrep
+    ) -> np.ndarray:
+        """Per-warp array-bound draws, lanes in ascending order."""
+        idx = np.full(len(prep.rlen), -1, dtype=np.int64)
+        start = 0
+        for t, c in zip(live, counts):
+            c = int(c)
+            bounds = prep.rlen[start : start + c]
+            drawable = np.nonzero(bounds > 0)[0] + start
+            if len(drawable):
+                idx[drawable] = t.rng.integers(0, prep.rlen[drawable])
+            start += c
+        return idx
+
+    @staticmethod
+    def _push(
+        inst: np.ndarray,
+        prob: np.ndarray,
+        depth: np.ndarray,
+        row_of: np.ndarray,
+        lane_of: np.ndarray,
+        depths_flat: np.ndarray,
+        res: StepResult,
+    ) -> None:
+        v = np.nonzero(res.valid)[0]
+        if len(v) == 0:
+            return
+        inst[row_of[v], lane_of[v], depths_flat[v]] = res.v[v]
+        prob[row_of[v], lane_of[v]] *= res.prob_factor[v]
+        depth[row_of[v], lane_of[v]] += 1
+
+    def _inherit(
+        self,
+        t: _WarpTask,
+        vrow: np.ndarray,
+        inst: np.ndarray,
+        prob: np.ndarray,
+        depth: np.ndarray,
+        spec,
+    ) -> None:
+        """One warp's inheritance round (Alg. 2) on array state.
+
+        Charge sequence matches :func:`repro.core.inheritance
+        .apply_inheritance`: one sync for the any-ballot, one for the
+        parent election, one shfl per inheriting lane.
+        """
+        votes = t.running & vrow
+        if not votes.any():
+            t.profile.charge_sync(spec.sync_cycles)
+            t.running[:] = False
+            return
+        t.profile.charge_sync(spec.sync_cycles)
+        t.profile.charge_sync(spec.sync_cycles)
+        idle_mask = t.running & ~votes
+        idle = int(idle_mask.sum())
+        if idle == 0:
+            t.running = votes
+            return
+        parent = int(np.argmax(votes))
+        r = t.row
+        prob[r, parent] *= idle + 1
+        for _ in range(idle):
+            t.profile.charge_sync(spec.sync_cycles)
+        inst[r, idle_mask] = inst[r, parent]
+        prob[r, idle_mask] = prob[r, parent]
+        depth[r, idle_mask] = depth[r, parent]
+        t.round_inherited += idle
+        # All previously running lanes continue (the Alg. 2 behaviour).
+
+    def _finish_batch(
+        self,
+        t: _WarpTask,
+        inst: np.ndarray,
+        prob: np.ndarray,
+        depth: np.ndarray,
+    ) -> None:
+        """Leaf accounting at batch end: one HT value per root task."""
+        target = self.target
+        r = t.row
+        drow = depth[r]
+        prow = prob[r]
+        for lane in range(self.W):
+            if not t.active[lane]:
+                continue
+            if t.running[lane] and drow[lane] == target:
+                pv = float(prow[lane])
+                t.acc.add(1.0 / pv)
+                t.n_valid += 1
+                if self.collect_states:
+                    t.collected.append(
+                        (tuple(int(x) for x in inst[r, lane, :target]), pv)
+                    )
+            else:
+                t.acc.add(0.0)
+        round_collected = t.batch + t.round_inherited
+        t.n_collected += round_collected
+        t.remaining -= round_collected
+
+    # ------------------------------------------------------------------
+    # Cost accounting (mirrors GSWORDEngine._charge_iteration)
+    # ------------------------------------------------------------------
+    def _charge_step(
+        self,
+        live: List[_WarpTask],
+        step_row_of: np.ndarray,
+        lane_of: np.ndarray,
+        prep: StepPrep,
+        res: StepResult,
+        depths_flat: np.ndarray,
+        busy: np.ndarray,
+        sample_sync: bool,
+    ) -> np.ndarray:
+        """Charge one super-step for every stepping warp; returns the dense
+        ``(n_warps, warp_size)`` validity matrix for the control logic."""
+        eng = self.engine
+        spec = eng.spec
+        W = self.W
+        S = len(live)
+
+        def dense(vals: np.ndarray, fill=0):
+            m = np.full((S, W), fill, dtype=vals.dtype)
+            m[step_row_of, lane_of] = vals
+            return m
+
+        present = np.zeros((S, W), dtype=bool)
+        present[step_row_of, lane_of] = True
+        validm = np.zeros((S, W), dtype=bool)
+        validm[step_row_of, lane_of] = res.valid
+        nb = dense(prep.nb)
+        clen = dense(prep.clen)
+        probes = dense(res.probes)
+
+        has_refine = eng.estimator.has_refine_stage
+        streaming = eng.config.streaming and has_refine
+        needs_ref = present & (nb > 0) if has_refine else np.zeros_like(present)
+
+        backs = np.where(present, nb, 0)
+        max_lookup = backs.max(axis=1)
+        tot_lookup = backs.sum(axis=1)
+
+        opsv = np.where(
+            present, float(_ITER_BASE_OPS + _SAMPLE_OPS + _VALIDATE_OPS), 0.0
+        )
+        if has_refine and not streaming:
+            opsv = opsv + np.where(needs_ref, clen * float(_CAND_SCAN_OPS), 0.0)
+        opsv = opsv * spec.op_cycles
+        ops_max = opsv.max(axis=1)
+
+        probes_p = np.where(present, probes, 0)
+        max_probe = probes_p.max(axis=1)
+        tot_probe = probes_p.sum(axis=1)
+        clen_p = np.where(present, clen, 0)
+        rate = np.divide(
+            probes_p.astype(np.float64),
+            clen_p.astype(np.float64),
+            out=np.zeros((S, W)),
+            where=clen_p > 0,
+        )
+
+        # Tracker unions from the flat arrays: refining lanes scan their
+        # candidate span contiguously; the rest touch the sampled slot.
+        length = np.maximum(0, prep.span_hi - prep.span_lo)
+        nr_flat = (
+            (prep.nb > 0)
+            if has_refine
+            else np.zeros(len(lane_of), dtype=bool)
+        )
+        scan_m = nr_flat & (length > 0)
+        touch_m = ~nr_flat & (prep.span_hi > prep.span_lo)
+        aid_flat = np.where(
+            prep.edge_id >= 0, ARRAY_LOCAL_CANDIDATES, ARRAY_GLOBAL_CANDIDATES
+        )
+        seg_counts, extra_reg = batched_union_counts(
+            spec,
+            S,
+            step_row_of[scan_m],
+            aid_flat[scan_m],
+            prep.edge_id[scan_m],
+            prep.span_lo[scan_m],
+            length[scan_m],
+            step_row_of[touch_m],
+            aid_flat[touch_m],
+            prep.edge_id[touch_m],
+            prep.span_lo[touch_m]
+            + (prep.span_hi[touch_m] - prep.span_lo[touch_m]) // 2,
+        )
+
+        if streaming:
+            lane_clens = np.where(needs_ref, clen, 0)
+            threshold = eng.config.streaming_threshold
+            limit = W if threshold is None else threshold
+            if limit <= W:
+                full = lane_clens // W
+                tail = lane_clens % W
+                partial = tail >= limit
+                rounds_per_lane = full + partial
+                remainders = np.where(partial, 0, tail)
+            else:
+                eligible = lane_clens >= limit
+                rounds_per_lane = np.where(
+                    eligible, (lane_clens - limit) // W + 1, 0
+                )
+                remainders = lane_clens - rounds_per_lane * W
+            rounds_w = rounds_per_lane.sum(axis=1)
+            ind_max = remainders.max(axis=1)
+            rate_max = rate.max(axis=1)
+            leftover = remainders * rate
+
+        for s, t in enumerate(live):
+            p = t.profile
+            cycles_before = p.cycles
+            tl = int(tot_lookup[s]) * _PROBE_LOADS
+            p.charge_memory(
+                eng._lockstep_load_cost(int(max_lookup[s]) * _PROBE_LOADS, tl),
+                tl,
+                0,
+            )
+            if streaming:
+                rounds = int(rounds_w[s])
+                probe_rate = float(rate_max[s])
+                if rounds:
+                    probe_cycles = (
+                        rounds
+                        * probe_rate
+                        * _PROBE_LOADS
+                        * warp_instruction_cost(spec, spec.warp_size)
+                    )
+                    if probe_cycles:
+                        p.charge_memory(
+                            probe_cycles,
+                            int(round(
+                                rounds * probe_rate * _PROBE_LOADS * spec.warp_size
+                            )),
+                            0,
+                        )
+                    p.charge_sync(rounds * 5 * spec.sync_cycles)
+                    p.charge_compute(rounds * _CAND_SCAN_OPS * spec.op_cycles)
+                p.charge_compute(
+                    int(ind_max[s]) * _CAND_SCAN_OPS * spec.op_cycles
+                )
+                lane_leftover = leftover[s].tolist()
+                max_leftover = max(lane_leftover) if lane_leftover else 0.0
+                # Sequential Python sum: float accumulation order matches
+                # the scalar path's ``sum()`` over the 32-lane list.
+                total_leftover = sum(lane_leftover)
+                p.charge_memory(
+                    eng._lockstep_load_cost(
+                        max_leftover * _PROBE_LOADS,
+                        total_leftover * _PROBE_LOADS,
+                    ),
+                    int(round(total_leftover * _PROBE_LOADS)),
+                    0,
+                )
+            else:
+                tp = int(tot_probe[s]) * _PROBE_LOADS
+                p.charge_memory(
+                    eng._lockstep_load_cost(
+                        int(max_probe[s]) * _PROBE_LOADS, tp
+                    ),
+                    tp,
+                    0,
+                )
+            p.charge_compute(float(ops_max[s]))
+            segments = int(seg_counts[s])
+            regions = int(extra_reg[s])
+            cycles = warp_instruction_cost(spec, segments, regions)
+            if cycles:
+                p.charge_memory(cycles, segments, regions)
+            if sample_sync:
+                p.charge_idle_wait(p.cycles - cycles_before, int(busy[s]), W)
+            p.note_lanes(busy=int(busy[s]), total=W)
+        return validm

@@ -23,7 +23,6 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.candidate.candidate_graph import CandidateGraph
-from repro.errors import EnumerationBudgetExceeded
 from repro.query.matching_order import MatchingOrder
 
 #: How often (in visited nodes) the deadline is polled.

@@ -28,7 +28,9 @@ class EnumerationBudgetExceeded(ReproError):
     """Raised when exact enumeration exceeds its count or time budget."""
 
     def __init__(self, partial_count: int, message: str = "") -> None:
-        super().__init__(message or f"enumeration budget exceeded at count={partial_count}")
+        super().__init__(
+            message or f"enumeration budget exceeded at count={partial_count}"
+        )
         self.partial_count = partial_count
 
 

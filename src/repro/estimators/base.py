@@ -18,7 +18,7 @@ CPU/GPU variants of an estimator are numerically identical by construction
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -19,7 +19,6 @@ branch — unbiased for any branching factor, which the tests verify.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -1,14 +1,20 @@
 """CPU baseline runner (the paper's CPU-WJ / CPU-AL within G-CARE).
 
-Runs RSV samples scalar-sequentially and scores them with the CPU cycle
-model; simulated wall time assumes G-CARE-style dynamic scheduling over
-``threads`` workers, which for i.i.d. samples is near-perfectly balanced
-(paper §6.1: "it achieves high performance on CPUs because RW estimators
-are embarrassingly parallel").
+Runs RSV samples and scores them with the CPU cycle model; simulated wall
+time assumes G-CARE-style dynamic scheduling over ``threads`` workers,
+which for i.i.d. samples is near-perfectly balanced (paper §6.1: "it
+achieves high performance on CPUs because RW estimators are embarrassingly
+parallel").
 
 The runner shares the estimator kernels with the GPU engine, so CPU and GPU
 estimates for the same seed policy are statistically identical — only the
-time model differs.
+time model differs.  Like the engine, it has two backends: the scalar
+per-sample loop (the reference) and a vectorized batch mode built on the
+same :mod:`repro.estimators.vectorized` kernels.  Batch mode advances a
+block of samples depth-by-depth and therefore consumes the random stream
+in a different order than the scalar loop — its estimates are equal in
+distribution (and deterministic per seed), not bit-identical.  Simulated
+cycles, which are draw-independent, agree exactly between the backends.
 """
 
 from __future__ import annotations
@@ -19,11 +25,18 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.candidate.candidate_graph import CandidateGraph
+from repro.core.config import BACKENDS, default_backend
+from repro.errors import ConfigError
 from repro.estimators.base import RSVEstimator, SampleState, StepContext
 from repro.estimators.ht import HTAccumulator
 from repro.gpu.costmodel import CPUSpec, DEFAULT_CPU
 from repro.query.matching_order import MatchingOrder
 from repro.utils.rng import RandomSource, as_generator
+
+#: Samples advanced together by the vectorized backend.  Bounds the flat
+#: arrays the step kernels build while keeping per-step numpy overhead
+#: amortised over thousands of lanes.
+_BATCH = 8192
 
 
 @dataclass
@@ -58,10 +71,16 @@ class CPUSamplingRunner:
         estimator: RSVEstimator,
         spec: CPUSpec = DEFAULT_CPU,
         threads: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         self.estimator = estimator
         self.spec = spec
         self.threads = threads or spec.threads
+        self.backend = default_backend() if backend is None else backend
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
 
     def _iteration_cycles(self, clen: int, probes: int, backs: int) -> float:
         """Cycle cost of one RSV iteration on the CPU model."""
@@ -100,6 +119,14 @@ class CPUSamplingRunner:
         n_q = len(order)
         target_depth = n_q if max_depth is None else min(max_depth, n_q)
 
+        if self.backend == "vectorized":
+            kernel_cls = _kernel_for(self.estimator)
+            if kernel_cls is not None:
+                return self._run_vectorized(
+                    kernel_cls, cg, order, n_samples, gen,
+                    checkpoint_set, target_depth,
+                )
+
         for i in range(n_samples):
             state = SampleState.fresh(n_q)
             total_cycles += self.spec.sample_overhead_cycles
@@ -129,3 +156,97 @@ class CPUSamplingRunner:
             accumulator=acc,
             checkpoints=checkpoints,
         )
+
+    def _run_vectorized(
+        self,
+        kernel_cls,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        n_samples: int,
+        gen: np.random.Generator,
+        checkpoint_set,
+        target_depth: int,
+    ) -> CPURunResult:
+        """Batch-mode execution: a block of samples per kernel step.
+
+        Per-sample cycles and HT values are computed batch-wise, then folded
+        in sample order so checkpoints see the same prefix semantics as the
+        scalar loop.
+        """
+        spec = self.spec
+        n_q = len(order)
+        kernel = kernel_cls(cg, order)
+        has_refine = self.estimator.has_refine_stage
+        sample_cycles = np.zeros(n_samples)
+        sample_valid = np.zeros(n_samples, dtype=bool)
+        sample_prob = np.ones(n_samples)
+
+        for base in range(0, n_samples, _BATCH):
+            size = min(_BATCH, n_samples - base)
+            inst = np.full((size, n_q), -1, dtype=np.int64)
+            prob = np.ones(size)
+            alive = np.ones(size, dtype=bool)
+            for d in range(target_depth):
+                lanes = np.nonzero(alive)[0]
+                if len(lanes) == 0:
+                    break
+                prep = kernel.prepare(
+                    inst[lanes], np.full(len(lanes), d, dtype=np.int64)
+                )
+                idx = np.full(len(lanes), -1, dtype=np.int64)
+                drawable = np.nonzero(prep.rlen > 0)[0]
+                if len(drawable):
+                    idx[drawable] = gen.integers(0, prep.rlen[drawable])
+                res = kernel.finish(prep, idx)
+                cycles = (
+                    float(spec.iteration_overhead_cycles)
+                    + len(order.backward[d]) * spec.probe_cycles
+                )
+                if has_refine:
+                    step_cycles = (
+                        cycles
+                        + prep.clen * spec.candidate_scan_cycles
+                        + res.probes * spec.refine_probe_cycles
+                    )
+                else:
+                    step_cycles = cycles + res.probes * spec.probe_cycles
+                sample_cycles[base + lanes] += step_cycles
+                ok = np.nonzero(res.valid)[0]
+                inst[lanes[ok], d] = res.v[ok]
+                prob[lanes[ok]] *= res.prob_factor[ok]
+                alive[lanes] = res.valid
+            sample_valid[base : base + size] = alive
+            sample_prob[base : base + size] = prob
+
+        acc = HTAccumulator()
+        total_cycles = 0.0
+        checkpoints: Dict[int, Tuple[float, float]] = {}
+        cycles_list = sample_cycles.tolist()
+        prob_list = sample_prob.tolist()
+        valid_list = sample_valid.tolist()
+        for i in range(n_samples):
+            total_cycles += spec.sample_overhead_cycles + cycles_list[i]
+            acc.add(1.0 / prob_list[i] if valid_list[i] else 0.0)
+            if (i + 1) in checkpoint_set:
+                checkpoints[i + 1] = (
+                    acc.estimate,
+                    spec.cycles_to_ms(total_cycles, self.threads),
+                )
+
+        return CPURunResult(
+            estimate=acc.estimate,
+            n_samples=acc.n,
+            n_valid=acc.n_valid,
+            total_cycles=total_cycles,
+            simulated_ms=spec.cycles_to_ms(total_cycles, self.threads),
+            accumulator=acc,
+            checkpoints=checkpoints,
+        )
+
+
+def _kernel_for(estimator: RSVEstimator):
+    """Late import: :mod:`repro.estimators.vectorized` imports the concrete
+    estimators, so the lookup cannot live at module scope."""
+    from repro.estimators.vectorized import vector_kernel_for
+
+    return vector_kernel_for(estimator)

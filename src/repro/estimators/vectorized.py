@@ -1,0 +1,439 @@
+"""Struct-of-arrays RSV kernels for the vectorized engine backend.
+
+The scalar estimators (:mod:`repro.estimators.wanderjoin`,
+:mod:`repro.estimators.alley`) run one lane at a time over Python objects.
+The kernels here execute the same Refine–Sample–Validate iteration for a
+whole *flat batch* of lanes — any mix of warps and depths — using numpy
+gathers over the candidate graph's triple CSR.
+
+Bit-identity with the scalar path is a tested invariant, which pins down
+three design points:
+
+* **RNG split.**  An RSV iteration is deterministic except for the single
+  uniform draw in Sample.  ``prepare`` therefore computes everything up to
+  the refined-set sizes without touching any generator; the engine then
+  draws all of a warp's lane indices with one array-bound
+  ``Generator.integers`` call (bit-identical to the scalar path's
+  sequential per-lane draws, including generator state advancement); and
+  ``finish`` validates the sampled vertices.
+* **First-argmin GetMinCandidate.**  The scalar loop keeps the first
+  backward edge achieving the minimal local-candidate length (strict
+  ``<``, early break on zero), i.e. plain first-occurrence argmin — which
+  is what the ``reduceat`` selection below computes.
+* **Probe ordering.**  Validate probes stop at the first failing backward
+  edge and Alley's refinement intersects one backward edge at a time with
+  early exit; the per-round masks below reproduce the exact probe counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Type
+
+import numpy as np
+
+from repro.candidate.candidate_graph import CandidateGraph
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.base import RSVEstimator
+from repro.estimators.wanderjoin import WanderJoinEstimator
+from repro.query.matching_order import MatchingOrder
+
+_HUGE = np.int64(2**62)
+
+
+def ragged_lower_bound(
+    arr: np.ndarray, lo: np.ndarray, hi: np.ndarray, vals: np.ndarray
+) -> np.ndarray:
+    """Vectorized ``searchsorted(arr[lo_i:hi_i], vals_i) + lo_i`` per element.
+
+    Classic lockstep bisection: every element halves its own ``[lo, hi)``
+    interval per round, so the loop runs ``log2(max span)`` iterations of
+    whole-array gathers — the data-parallel shape of the GPU's
+    ``find(v, lc)`` binary search.
+    """
+    lo = lo.astype(np.int64, copy=True)
+    hi = hi.astype(np.int64, copy=True)
+    idx = np.nonzero(lo < hi)[0]
+    while len(idx):
+        l, h = lo[idx], hi[idx]
+        mid = (l + h) >> 1
+        goes_right = arr[mid] < vals[idx]
+        l = np.where(goes_right, mid + 1, l)
+        h = np.where(goes_right, h, mid)
+        lo[idx] = l
+        hi[idx] = h
+        idx = idx[l < h]
+    return lo
+
+
+def ragged_contains(
+    arr: np.ndarray, lo: np.ndarray, hi: np.ndarray, vals: np.ndarray
+) -> np.ndarray:
+    """Membership of ``vals_i`` in the sorted slice ``arr[lo_i:hi_i]``."""
+    if len(arr) == 0:
+        return np.zeros(len(vals), dtype=bool)
+    pos = ragged_lower_bound(arr, lo, hi, vals)
+    found = pos < hi
+    safe = np.minimum(pos, len(arr) - 1)
+    found &= arr[safe] == vals
+    return found
+
+
+def _flat_within(counts: np.ndarray) -> np.ndarray:
+    """``[0..c_0), [0..c_1), ...`` concatenated (ragged arange)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    return np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+
+
+@dataclass
+class StepPrep:
+    """Phase-A output: everything up to (and excluding) the random draw.
+
+    All arrays are per flat lane.  ``rlen`` is what the engine draws
+    against; the rest feeds ``finish`` and the cost model.
+    """
+
+    depths: np.ndarray
+    instances: np.ndarray
+    clen: np.ndarray
+    rlen: np.ndarray
+    edge_id: np.ndarray
+    span_lo: np.ndarray
+    span_hi: np.ndarray
+    nb: np.ndarray
+    refine_probes: np.ndarray
+    # Backward-edge pair table handles (first-pair index into the kernel's
+    # per-call pair arrays; only meaningful where ``nb > 0``).
+    pair_start: np.ndarray
+    best_within: np.ndarray
+    pair_slo: np.ndarray
+    pair_shi: np.ndarray
+    # Alley only: flat refined survivor values + per-lane offsets.
+    surv_values: Optional[np.ndarray] = None
+    surv_offsets: Optional[np.ndarray] = None
+
+
+@dataclass
+class StepResult:
+    """Phase-B/C output: sampled vertices, validity, total probe counts."""
+
+    v: np.ndarray
+    valid: np.ndarray
+    probes: np.ndarray
+    prob_factor: np.ndarray
+
+
+class VectorKernel:
+    """Precomputed per-``(cg, order)`` tables plus the two step phases."""
+
+    def __init__(self, cg: CandidateGraph, order: MatchingOrder) -> None:
+        self.cg = cg
+        self.order = order
+        n = len(order)
+        self.n_q = n
+        j_flat: list = []
+        eid_flat: list = []
+        offsets = [0]
+        for d in range(n):
+            u = order.order[d]
+            for j in order.backward[d]:
+                j_flat.append(j)
+                eid_flat.append(cg.edge_id(order.order[j], u))
+            offsets.append(len(j_flat))
+        self.b_off = np.asarray(offsets, dtype=np.int64)
+        self.b_j = np.asarray(j_flat, dtype=np.int64)
+        self.b_eid = np.asarray(eid_flat, dtype=np.int64)
+        ecand_off = np.asarray(cg.ecand_offsets, dtype=np.int64)
+        self.b_lo = ecand_off[self.b_eid] if len(self.b_eid) else self.b_eid
+        self.b_hi = ecand_off[self.b_eid + 1] if len(self.b_eid) else self.b_eid
+        self.nbacks = np.diff(self.b_off)
+
+        globals_ = [
+            np.asarray(cg.global_candidates[u], dtype=np.int64)
+            for u in order.order
+        ]
+        self.g_len = np.asarray([len(g) for g in globals_], dtype=np.int64)
+        self.g_off = np.zeros(n, dtype=np.int64)
+        if n > 1:
+            np.cumsum(self.g_len[:-1], out=self.g_off[1:])
+        self.gpool = (
+            np.concatenate(globals_) if globals_ else np.zeros(0, dtype=np.int64)
+        )
+        self.ecand = np.asarray(cg.ecand_vertices, dtype=np.int64)
+        self.local_off = np.asarray(cg.local_offsets, dtype=np.int64)
+        self.local = np.asarray(cg.local_vertices, dtype=np.int64)
+        # Combined candidate pool: local lists first, then the global sets,
+        # so candidate gathers need one base offset per lane instead of a
+        # two-way masked select.
+        self._pool = np.concatenate([self.local, self.gpool])
+        self._g_base = len(self.local) + self.g_off
+        self.direct = not cg.label_filtered
+        if self.direct:
+            self.labels = np.asarray(cg.graph.labels)
+            self.qlab = np.asarray(
+                [cg.query.label(u) for u in order.order], dtype=np.int64
+            )
+
+    # ------------------------------------------------------------------
+    # GetMinCandidate over a flat batch of lanes
+    # ------------------------------------------------------------------
+    def _min_candidates(self, prep: StepPrep) -> None:
+        depths = prep.depths
+        L = len(depths)
+        nb = self.nbacks[depths]
+        glob = (depths == 0) | (nb == 0)
+        prep.nb = np.where(glob, 0, nb)
+        back_lanes = np.nonzero(~glob)[0]
+
+        clen = np.zeros(L, dtype=np.int64)
+        edge_id = np.full(L, -1, dtype=np.int64)
+        span_lo = np.zeros(L, dtype=np.int64)
+        span_hi = np.zeros(L, dtype=np.int64)
+        clen[glob] = self.g_len[depths[glob]]
+        span_hi[glob] = clen[glob]
+
+        pair_start = np.zeros(L, dtype=np.int64)
+        best_within = np.zeros(L, dtype=np.int64)
+        if len(back_lanes):
+            counts = nb[back_lanes]
+            pair_lane = np.repeat(back_lanes, counts)
+            within = _flat_within(counts)
+            pidx = self.b_off[depths[pair_lane]] + within
+            v_b = prep.instances[pair_lane, self.b_j[pidx]]
+            lo = self.b_lo[pidx]
+            hi = self.b_hi[pidx]
+            pos = ragged_lower_bound(self.ecand, lo, hi, v_b)
+            found = pos < hi
+            safe = np.minimum(pos, max(0, len(self.ecand) - 1))
+            if len(self.ecand):
+                found &= self.ecand[safe] == v_b
+            slot = np.where(found, safe, 0)
+            p_slo = np.where(found, self.local_off[slot], 0)
+            p_shi = np.where(found, self.local_off[slot + 1], 0)
+            plen = p_shi - p_slo
+
+            starts = np.zeros(len(back_lanes), dtype=np.int64)
+            np.cumsum(counts[:-1], out=starts[1:])
+            min_len = np.minimum.reduceat(plen, starts)
+            is_min = plen == np.repeat(min_len, counts)
+            first_within = np.minimum.reduceat(
+                np.where(is_min, within, _HUGE), starts
+            )
+            best_pidx = starts + first_within
+
+            clen[back_lanes] = min_len
+            edge_id[back_lanes] = self.b_eid[pidx[best_pidx]]
+            span_lo[back_lanes] = p_slo[best_pidx]
+            span_hi[back_lanes] = p_shi[best_pidx]
+            pair_start[back_lanes] = starts
+            best_within[back_lanes] = first_within
+            prep.pair_slo = p_slo
+            prep.pair_shi = p_shi
+        else:
+            prep.pair_slo = np.zeros(0, dtype=np.int64)
+            prep.pair_shi = np.zeros(0, dtype=np.int64)
+
+        prep.clen = clen
+        prep.edge_id = edge_id
+        prep.span_lo = span_lo
+        prep.span_hi = span_hi
+        prep.pair_start = pair_start
+        prep.best_within = best_within
+
+    def _other_pair_index(self, prep: StepPrep, lanes: np.ndarray, k: int):
+        """Pair-array index of lane's k-th *other* backward edge (the backs
+        list minus the sampled-from edge, order preserved)."""
+        bw = prep.best_within[lanes]
+        return prep.pair_start[lanes] + np.where(k < bw, k, k + 1)
+
+    def _candidate_values(self, prep: StepPrep) -> np.ndarray:
+        """Flat concatenation of every lane's candidate array."""
+        counts = prep.clen
+        base = np.where(
+            prep.edge_id < 0, self._g_base[prep.depths], prep.span_lo
+        )
+        return self._pool[np.repeat(base, counts) + _flat_within(counts)]
+
+    def _dup_mask(self, prep: StepPrep, v: np.ndarray) -> np.ndarray:
+        """Injectivity check: is ``v_i`` already in lane i's prefix?"""
+        prefix = np.arange(self.n_q) < prep.depths[:, None]
+        return ((prep.instances == v[:, None]) & prefix).any(axis=1)
+
+    # ------------------------------------------------------------------
+    # Step phases (estimator-specific)
+    # ------------------------------------------------------------------
+    def prepare(self, instances: np.ndarray, depths: np.ndarray) -> StepPrep:
+        """Phase A: GetMinCandidate + Refine for all lanes; no RNG."""
+        raise NotImplementedError
+
+    def finish(self, prep: StepPrep, idx: np.ndarray) -> StepResult:
+        """Phase B/C: resolve drawn indices, then Validate."""
+        raise NotImplementedError
+
+    def _base_prep(self, instances: np.ndarray, depths: np.ndarray) -> StepPrep:
+        L = len(depths)
+        zeros = np.zeros(L, dtype=np.int64)
+        prep = StepPrep(
+            depths=depths, instances=instances,
+            clen=zeros, rlen=zeros, edge_id=zeros, span_lo=zeros,
+            span_hi=zeros, nb=zeros, refine_probes=zeros,
+            pair_start=zeros, best_within=zeros,
+            pair_slo=zeros, pair_shi=zeros,
+        )
+        self._min_candidates(prep)
+        return prep
+
+    def _result(self, prep: StepPrep, idx: np.ndarray) -> StepResult:
+        sampled = idx >= 0
+        rlen_f = prep.rlen.astype(np.float64)
+        prob_factor = np.divide(
+            1.0, rlen_f, out=np.zeros(len(rlen_f)), where=prep.rlen > 0
+        )
+        return StepResult(
+            v=np.full(len(idx), -1, dtype=np.int64),
+            valid=sampled.copy(),
+            probes=prep.refine_probes.copy(),
+            prob_factor=prob_factor,
+        )
+
+
+class WanderJoinVectorKernel(VectorKernel):
+    """WanderJoin: pass-through refine, per-backward-edge validate probes."""
+
+    def prepare(self, instances: np.ndarray, depths: np.ndarray) -> StepPrep:
+        prep = self._base_prep(instances, depths)
+        prep.rlen = prep.clen
+        return prep
+
+    def finish(self, prep: StepPrep, idx: np.ndarray) -> StepResult:
+        res = self._result(prep, idx)
+        sampled = np.nonzero(idx >= 0)[0]
+        if len(sampled) == 0:
+            return res
+        base = np.where(
+            prep.edge_id[sampled] < 0,
+            self._g_base[prep.depths[sampled]],
+            prep.span_lo[sampled],
+        )
+        res.v[sampled] = self._pool[base + idx[sampled]]
+
+        # Fig. 19 WJ: one (redundant) probe for the sampled edge at d > 0,
+        # charged before the duplicate check.
+        res.probes[sampled] += prep.depths[sampled] > 0
+        alive = np.zeros(len(idx), dtype=bool)
+        alive[sampled] = ~self._dup_mask(prep, res.v)[sampled]
+        if self.direct:
+            live = np.nonzero(alive)[0]
+            res.probes[live] += 1
+            bad = self.labels[res.v[live]] != self.qlab[prep.depths[live]]
+            alive[live[bad]] = False
+        k = 0
+        while True:
+            m = np.nonzero(alive & (prep.nb - 1 > k))[0]
+            if len(m) == 0:
+                break
+            res.probes[m] += 1
+            opi = self._other_pair_index(prep, m, k)
+            member = ragged_contains(
+                self.local, prep.pair_slo[opi], prep.pair_shi[opi], res.v[m]
+            )
+            alive[m[~member]] = False
+            k += 1
+        res.valid = alive
+        return res
+
+
+class AlleyVectorKernel(VectorKernel):
+    """Alley: per-backward-edge refinement intersection, dup-only validate."""
+
+    def prepare(self, instances: np.ndarray, depths: np.ndarray) -> StepPrep:
+        prep = self._base_prep(instances, depths)
+        L = len(depths)
+        probes = np.where(depths > 0, prep.clen, 0)
+
+        values = self._candidate_values(prep)
+        counts = prep.clen.copy()
+        lane_of = np.repeat(np.arange(L, dtype=np.int64), counts)
+        if self.direct:
+            # Direct-on-data-graph mode: label-filter before intersecting
+            # (one probe per pre-filter candidate, as the scalar kernel).
+            deep = depths > 0
+            probes[deep] += prep.clen[deep]
+            keep = ~deep[lane_of] | (
+                self.labels[values] == self.qlab[depths[lane_of]]
+            )
+            values, lane_of = values[keep], lane_of[keep]
+            counts = np.bincount(lane_of, minlength=L).astype(np.int64)
+        k = 0
+        while True:
+            # Survivor-major early exit: a lane drops out of round k when it
+            # has no k-th other edge or no surviving candidates.
+            part = np.nonzero((prep.nb - 1 > k) & (counts > 0))[0]
+            if len(part) == 0:
+                break
+            probes[part] += counts[part]
+            opi = self._other_pair_index(prep, part, k)
+            part_mask = np.zeros(L, dtype=bool)
+            part_mask[part] = True
+            ridx = np.nonzero(part_mask[lane_of])[0]
+            # Map flat elements to their lane's k-th other span.
+            span_map_lo = np.zeros(L, dtype=np.int64)
+            span_map_hi = np.zeros(L, dtype=np.int64)
+            span_map_lo[part] = prep.pair_slo[opi]
+            span_map_hi[part] = prep.pair_shi[opi]
+            el_lane = lane_of[ridx]
+            member = ragged_contains(
+                self.local, span_map_lo[el_lane], span_map_hi[el_lane],
+                values[ridx],
+            )
+            keep = np.ones(len(values), dtype=bool)
+            keep[ridx[~member]] = False
+            values, lane_of = values[keep], lane_of[keep]
+            counts = np.bincount(lane_of, minlength=L).astype(np.int64)
+            k += 1
+
+        prep.rlen = counts
+        prep.refine_probes = probes
+        prep.surv_values = values
+        offsets = np.zeros(L, dtype=np.int64)
+        if L > 1:
+            np.cumsum(counts[:-1], out=offsets[1:])
+        prep.surv_offsets = offsets
+        return prep
+
+    def finish(self, prep: StepPrep, idx: np.ndarray) -> StepResult:
+        res = self._result(prep, idx)
+        sampled = np.nonzero(idx >= 0)[0]
+        if len(sampled) == 0:
+            return res
+        assert prep.surv_values is not None and prep.surv_offsets is not None
+        res.v[sampled] = prep.surv_values[
+            prep.surv_offsets[sampled] + idx[sampled]
+        ]
+        alive = np.zeros(len(idx), dtype=bool)
+        alive[sampled] = ~self._dup_mask(prep, res.v)[sampled]
+        if self.direct:
+            # Scalar Alley charges the label probe only on failure.
+            live = np.nonzero(alive)[0]
+            bad = self.labels[res.v[live]] != self.qlab[prep.depths[live]]
+            res.probes[live[bad]] += 1
+            alive[live[bad]] = False
+        res.valid = alive
+        return res
+
+
+def vector_kernel_for(
+    estimator: RSVEstimator,
+) -> Optional[Type[VectorKernel]]:
+    """Vector kernel class for ``estimator``, or ``None`` when only the
+    scalar reference path applies (custom estimators and subclasses may
+    override any RSV hook, so exact types only)."""
+    if type(estimator) is WanderJoinEstimator:
+        return WanderJoinVectorKernel
+    if type(estimator) is AlleyEstimator:
+        return AlleyVectorKernel
+    return None

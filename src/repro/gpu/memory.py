@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Set, Tuple
 
+import numpy as np
+
 from repro.gpu.costmodel import GPUSpec
 from repro.gpu.profiler import WarpProfile
 
@@ -32,7 +34,9 @@ ARRAY_GLOBAL_CANDIDATES = 3
 ARRAY_SAMPLE_STATE = 4
 
 
-def warp_instruction_cost(spec: GPUSpec, segments: int, extra_regions: int = 0) -> float:
+def warp_instruction_cost(
+    spec: GPUSpec, segments: int, extra_regions: int = 0
+) -> float:
     """Cycles for one warp-wide memory instruction touching ``segments``
     distinct transactions across ``extra_regions`` additional regions."""
     if segments <= 0:
@@ -109,3 +113,106 @@ class WarpMemoryTracker:
         self._segments.clear()
         self._regions.clear()
         return cycles
+
+
+def _expand_ranges(firsts: np.ndarray, lasts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[first_i, last_i]`` inclusive integer ranges."""
+    counts = lasts - firsts + 1
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    flat = np.repeat(firsts, counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    return flat + within
+
+
+def warp_union_counts(
+    spec: GPUSpec,
+    scan_array_ids: np.ndarray,
+    scan_regions: np.ndarray,
+    scan_starts: np.ndarray,
+    scan_lengths: np.ndarray,
+    touch_array_ids: np.ndarray,
+    touch_regions: np.ndarray,
+    touch_positions: np.ndarray,
+) -> Tuple[int, int]:
+    """One warp instruction's ``(segments, extra_regions)`` from flat arrays.
+
+    Array-level equivalent of filling a :class:`WarpMemoryTracker` with the
+    given ``contiguous`` scans and single-element ``touch`` accesses and
+    reading the union sizes before commit.  Scans with non-positive length
+    must be filtered out by the caller (as ``contiguous`` ignores them).
+    """
+    seg = spec.segment_elements
+    scan_firsts = scan_starts // seg
+    scan_lasts = (scan_starts + scan_lengths - 1) // seg
+    # Distinct (array, segment) pairs; array ids are tiny so a shifted key
+    # cannot collide with realistic array offsets.
+    seg_keys = np.concatenate(
+        [
+            np.repeat(scan_array_ids << 48, scan_lasts - scan_firsts + 1)
+            + _expand_ranges(scan_firsts, scan_lasts),
+            (touch_array_ids << 48) + touch_positions // seg,
+        ]
+    )
+    region_keys = np.concatenate(
+        [
+            (scan_array_ids << 48) + scan_regions + 1,
+            (touch_array_ids << 48) + touch_regions + 1,
+        ]
+    )
+    segments = len(np.unique(seg_keys))
+    regions = len(np.unique(region_keys))
+    return segments, max(0, regions - 1)
+
+
+#: Key packing for the batched union: ``row * 2^48 + array_id * 2^45 + tail``
+#: where ``tail`` is a segment index or shifted region id.  Array ids are
+#: < 8 and candidate arrays are far below 2^45 elements, so keys are
+#: collision-free and fit int64 for up to 2^15 warp rows per call.
+_ROW_SHIFT = np.int64(1) << 48
+_AID_SHIFT = np.int64(1) << 45
+
+
+def batched_union_counts(
+    spec: GPUSpec,
+    n_rows: int,
+    scan_rows: np.ndarray,
+    scan_array_ids: np.ndarray,
+    scan_regions: np.ndarray,
+    scan_starts: np.ndarray,
+    scan_lengths: np.ndarray,
+    touch_rows: np.ndarray,
+    touch_array_ids: np.ndarray,
+    touch_regions: np.ndarray,
+    touch_positions: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-warp-row ``(segments, extra_regions)`` for a whole wave step.
+
+    Same counts as one :class:`WarpMemoryTracker` fill-and-commit per row,
+    but computed with a single sort over key-encoded ``(row, array,
+    segment)`` / ``(row, array, region)`` tuples — the coalescing model
+    consuming flat lane arrays instead of per-lane Python iteration.
+    """
+    seg = spec.segment_elements
+    scan_firsts = scan_starts // seg
+    scan_lasts = (scan_starts + scan_lengths - 1) // seg
+    scan_base = scan_rows * _ROW_SHIFT + scan_array_ids * _AID_SHIFT
+    touch_base = touch_rows * _ROW_SHIFT + touch_array_ids * _AID_SHIFT
+    seg_keys = np.concatenate(
+        [
+            np.repeat(scan_base, scan_lasts - scan_firsts + 1)
+            + _expand_ranges(scan_firsts, scan_lasts),
+            touch_base + touch_positions // seg,
+        ]
+    )
+    region_keys = np.concatenate(
+        [scan_base + scan_regions + 1, touch_base + touch_regions + 1]
+    )
+    seg_unique = np.unique(seg_keys)
+    region_unique = np.unique(region_keys)
+    segments = np.bincount(seg_unique >> 48, minlength=n_rows)
+    regions = np.bincount(region_unique >> 48, minlength=n_rows)
+    return segments, np.maximum(0, regions - 1)

@@ -18,9 +18,13 @@ DESIGN.md).
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, Tuple
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -131,6 +135,79 @@ DATASET_ORDER: Tuple[str, ...] = (
 )
 
 
+# Disk cache ----------------------------------------------------------
+#
+# Generation is deterministic per profile but the preferential-attachment
+# models take seconds at the larger sizes, which dominates short benchmark
+# runs.  Generated graphs are therefore memoised as ``.npz`` files keyed by
+# a digest of the full profile, so any profile edit invalidates its entry.
+
+#: Bump when the on-disk layout or generator semantics change.
+_CACHE_FORMAT = 1
+
+
+def _cache_dir() -> Optional[Path]:
+    """Resolve the dataset cache directory, or ``None`` when disabled.
+
+    ``REPRO_DATASET_CACHE=0`` (or ``false``/``off``) disables caching;
+    ``REPRO_DATASET_CACHE_DIR`` overrides the location.  By default the
+    cache lives in ``.cache/datasets`` at the repository root — and only
+    when that root is recognisable (a ``pyproject.toml`` four levels up),
+    so an installed copy of the package never writes outside a checkout.
+    """
+    flag = os.environ.get("REPRO_DATASET_CACHE", "1").strip().lower()
+    if flag in ("0", "false", "off"):
+        return None
+    override = os.environ.get("REPRO_DATASET_CACHE_DIR")
+    if override:
+        return Path(override)
+    root = Path(__file__).resolve().parents[3]
+    if not (root / "pyproject.toml").is_file():
+        return None
+    return root / ".cache" / "datasets"
+
+
+def _cache_path(profile: DatasetProfile) -> Optional[Path]:
+    base = _cache_dir()
+    if base is None:
+        return None
+    digest = sha256(
+        f"v{_CACHE_FORMAT}:{profile!r}".encode()
+    ).hexdigest()[:16]
+    return base / f"{profile.name}-{digest}.npz"
+
+
+def _cache_load(path: Path, name: str) -> Optional[CSRGraph]:
+    try:
+        with np.load(path) as data:
+            return CSRGraph(
+                offsets=data["offsets"],
+                neighbors=data["neighbors"],
+                labels=data["labels"],
+                name=name,
+            )
+    except (OSError, KeyError, ValueError):
+        return None  # corrupt or stale entry: fall through to regeneration
+
+
+def _cache_store(path: Path, graph: CSRGraph) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(
+                fh,
+                offsets=graph.offsets,
+                neighbors=graph.neighbors,
+                labels=graph.labels,
+            )
+        os.replace(tmp, path)  # atomic: concurrent readers see old or new
+    except OSError:
+        pass  # read-only checkout / full disk — caching is best-effort
+
+
 def _generate(profile: DatasetProfile) -> CSRGraph:
     rng = as_generator(profile.seed)
     labels = random_labels(
@@ -182,7 +259,15 @@ def _load_dataset_cached(name: str) -> CSRGraph:
     if profile is None:
         known = ", ".join(sorted(DATASET_PROFILES))
         raise GraphError(f"unknown dataset {name!r}; known: {known}")
-    return _generate(profile)
+    path = _cache_path(profile)
+    if path is not None and path.is_file():
+        cached = _cache_load(path, profile.name)
+        if cached is not None:
+            return cached
+    graph = _generate(profile)
+    if path is not None:
+        _cache_store(path, graph)
+    return graph
 
 
 def dataset_scale_factor(name: str) -> float:

@@ -8,7 +8,7 @@ and trivially cheap neighbour iteration while building matching orders.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -199,7 +199,9 @@ def cycle_query(labels: Sequence[int], name: str = "cycle") -> QueryGraph:
     return QueryGraph.from_edges(labels, edges, name=name)
 
 
-def star_query(center_label: int, leaf_labels: Sequence[int], name: str = "star") -> QueryGraph:
+def star_query(
+    center_label: int, leaf_labels: Sequence[int], name: str = "star"
+) -> QueryGraph:
     """A star query: vertex 0 is the centre."""
     labels = [center_label] + list(leaf_labels)
     edges = [(0, i + 1) for i in range(len(leaf_labels))]

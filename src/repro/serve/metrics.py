@@ -94,6 +94,10 @@ class ServiceMetrics:
     n_worker_crashes: int = 0
     fault_ms: float = 0.0
     faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    # Rounds completed per warp-execution backend ("vectorized"/"scalar");
+    # mixed counts are expected when custom estimators force the scalar
+    # fallback next to vector-kernel traffic.
+    rounds_by_backend: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def record_submit(self, queue_depth: int) -> None:
@@ -119,6 +123,13 @@ class ServiceMetrics:
 
     def record_failure(self) -> None:
         self.n_failed += 1
+
+    def record_backends(self, backends: List[str]) -> None:
+        """Count one completed round per entry of ``backends``."""
+        for backend in backends:
+            self.rounds_by_backend[backend] = (
+                self.rounds_by_backend.get(backend, 0) + 1
+            )
 
     # Resilience events ------------------------------------------------
     def record_round_faults(
@@ -181,6 +192,7 @@ class ServiceMetrics:
             "samples_per_second": self.samples_per_second,
             "mean_batch_size": self.mean_batch_size,
             "max_queue_depth": self.max_queue_depth,
+            "rounds_by_backend": dict(self.rounds_by_backend),
             "latency_ms": self.latency.snapshot(),
             "queue_wait_ms": self.queue_wait.snapshot(),
             "resilience": {

@@ -40,7 +40,7 @@ from repro.errors import ServiceError, ServiceTimeout
 from repro.estimators.base import RSVEstimator
 from repro.estimators.cpu_runner import CPUSamplingRunner
 from repro.estimators.ht import HTAccumulator
-from repro.faults import FaultInjector, FaultPlan, fault_kind, maybe_injector
+from repro.faults import FaultInjector, FaultPlan, maybe_injector
 from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
 from repro.gpu.device import DeviceModel
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker
@@ -282,6 +282,9 @@ class EstimationService:
                 n_requests=len(batch),
                 n_samples=result.n_samples,
                 batch_ms=result.batch_ms,
+            )
+            self.metrics.record_backends(
+                [r.backend for r in result.round_results if r is not None]
             )
             if result.n_faults or result.n_retries or result.fault_ms:
                 self.metrics.record_round_faults(

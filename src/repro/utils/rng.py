@@ -31,19 +31,46 @@ def as_generator(source: RandomSource) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(source).__name__}")
 
 
-def spawn_generators(source: RandomSource, count: int) -> List[np.random.Generator]:
-    """Derive ``count`` statistically independent child generators.
+#: A replayable child-stream handle: either a ``SeedSequence`` child or a
+#: drawn integer seed (the fallback for bit generators without a seed
+#: sequence).  ``numpy.random.default_rng`` accepts both, and rebuilding a
+#: generator from the same state yields a bit-identical stream.
+GeneratorState = Union[np.random.SeedSequence, int]
 
-    Uses ``SeedSequence.spawn`` so children never collide even when the same
-    root seed is reused across experiment runs.
+
+def spawn_generator_states(source: RandomSource, count: int) -> List[GeneratorState]:
+    """Derive ``count`` replayable child-stream states.
+
+    This is :func:`spawn_generators` minus the final ``default_rng`` call:
+    the vectorized engine keeps the states so it can re-materialise a
+    warp's stream from scratch (wave execution re-runs a warp when its
+    optimistic task quota turns out too large).  Advances the root exactly
+    as :func:`spawn_generators` does, so the two are interchangeable.
     """
     if count < 0:
         raise ValueError("count must be non-negative")
     root = as_generator(source)
     seed_seq = root.bit_generator.seed_seq  # type: ignore[attr-defined]
     if seed_seq is None:  # pragma: no cover - only for exotic bit generators
-        return [np.random.default_rng(root.integers(0, 2**63)) for _ in range(count)]
-    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+        return [int(root.integers(0, 2**63)) for _ in range(count)]
+    return list(seed_seq.spawn(count))
+
+
+def generator_from_state(state: GeneratorState) -> np.random.Generator:
+    """Materialise a generator from a spawned child state (replayable)."""
+    return np.random.default_rng(state)
+
+
+def spawn_generators(source: RandomSource, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses ``SeedSequence.spawn`` so children never collide even when the same
+    root seed is reused across experiment runs.
+    """
+    return [
+        generator_from_state(state)
+        for state in spawn_generator_states(source, count)
+    ]
 
 
 def derive_seed(source: RandomSource, *tokens: object) -> int:
