@@ -12,6 +12,11 @@ against the checked-in baselines in ``benchmarks/baselines.json``:
   magnitude), while the sharp check is self-relative: the vectorized
   backend must beat the scalar backend by ``--min-speedup`` within the
   same process.
+* **sharding gates** — one saturating workload runs at 1 and 4 shards:
+  estimates and simulated milliseconds must be bit-identical, the
+  deterministic multi-device makespan must show a ≥1.5× modeled speedup,
+  and (only on hosts granting ≥4 cores) the measured wall speedup must
+  clear the same bar.
 
 Refresh the baselines after an intentional change with::
 
@@ -47,6 +52,15 @@ CASES = [
     ("wj_dblp_q8", WanderJoinEstimator, "dblp", 8),
     ("alley_orkut_q6", AlleyEstimator, "orkut", 6),
 ]
+
+# Sharding gate workload: must be throughput-bound (many small balanced
+# warps, per-shard warp counts above device residency) or the modeled
+# makespan cannot improve — see benchmarks/bench_sharding_scaling.py.
+SHARD_N_SAMPLES = int(os.environ.get("PERF_SMOKE_SHARD_SAMPLES", "131072"))
+SHARD_TASKS_PER_WARP = 16
+SHARD_WALL_REPEATS = 2
+SHARD_GATE = 4
+SHARD_MIN_SPEEDUP = 1.5
 
 
 def _synthetic_delay() -> None:
@@ -94,6 +108,100 @@ def measure() -> dict:
             ),
         }
     return {"format": 1, "seed": SEED, "n_samples": N_SAMPLES, "entries": entries}
+
+
+def host_cores() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_sharded(shards: int):
+    workload = build_workload("orkut", 6, "dense", 0)
+    config = EngineConfig.gsword(
+        backend="vectorized", tasks_per_warp=SHARD_TASKS_PER_WARP
+    ).with_shards(shards)
+    with GSWORDEngine(AlleyEstimator(), config=config) as engine:
+        # Warmup spawns the worker pool and publishes the shared-memory
+        # plan so the timed region measures steady-state rounds.
+        engine.run(workload.cg, workload.order, SHARD_N_SAMPLES, rng=SEED)
+        best_wall = float("inf")
+        result = None
+        for _ in range(SHARD_WALL_REPEATS):
+            start = time.perf_counter()
+            result = engine.run(
+                workload.cg, workload.order, SHARD_N_SAMPLES, rng=SEED
+            )
+            _synthetic_delay()
+            best_wall = min(best_wall, time.perf_counter() - start)
+    return result, best_wall * 1000.0
+
+
+def measure_sharding() -> dict:
+    """Run the sharding workload at 1 and ``SHARD_GATE`` shards.
+
+    Aborts outright if the sharded run is not bit-identical to the
+    single-process one — that is a correctness break, not a perf
+    regression.
+    """
+    base, base_wall = _run_sharded(1)
+    sharded, shard_wall = _run_sharded(SHARD_GATE)
+    if (
+        sharded.estimate != base.estimate
+        or sharded.n_samples != base.n_samples
+        or sharded.simulated_ms() != base.simulated_ms()
+    ):
+        raise SystemExit(
+            f"sharding: {SHARD_GATE}-shard run diverged from 1-shard "
+            f"(estimate {sharded.estimate} vs {base.estimate}, simulated "
+            f"{sharded.simulated_ms()} vs {base.simulated_ms()}) — "
+            "equivalence broken"
+        )
+    return {
+        "shards": SHARD_GATE,
+        "n_samples": SHARD_N_SAMPLES,
+        "estimate": sharded.estimate,
+        "simulated_ms": sharded.simulated_ms(),
+        "multidev_ms": sharded.multidev_ms(),
+        "modeled_speedup": (
+            sharded.simulated_ms() / sharded.multidev_ms()
+            if sharded.multidev_ms() > 0 else 0.0
+        ),
+        "wall_ms_1shard": base_wall,
+        "wall_ms_sharded": shard_wall,
+        "measured_speedup": (
+            base_wall / shard_wall if shard_wall > 0 else float("inf")
+        ),
+        "host_cores": host_cores(),
+    }
+
+
+def compare_sharding(cur: dict, base: dict) -> list:
+    failures = []
+    if not base:
+        return ["sharding: no baseline section (run --update-baselines)"]
+    for key in ("estimate", "simulated_ms", "multidev_ms"):
+        if cur[key] != base[key]:
+            failures.append(
+                f"sharding: {key} {cur[key]} != baseline {base[key]} "
+                "(deterministic — must match exactly)"
+            )
+    if cur["modeled_speedup"] < SHARD_MIN_SPEEDUP:
+        failures.append(
+            f"sharding: modeled speedup {cur['modeled_speedup']:.2f}x at "
+            f"{cur['shards']} shards below gate {SHARD_MIN_SPEEDUP:.2f}x"
+        )
+    if cur["host_cores"] >= SHARD_GATE:
+        if cur["measured_speedup"] < SHARD_MIN_SPEEDUP:
+            failures.append(
+                f"sharding: measured wall speedup "
+                f"{cur['measured_speedup']:.2f}x at {cur['shards']} shards "
+                f"below gate {SHARD_MIN_SPEEDUP:.2f}x "
+                f"({cur['host_cores']} cores)"
+            )
+    return failures
 
 
 def compare(current: dict, baseline: dict, wall_tolerance: float,
@@ -155,6 +263,19 @@ def main(argv=None) -> int:
             f"speedup={entry['speedup']:.2f}x "
             f"({entry['lane_steps_per_sec']:.0f} lane-steps/s)"
         )
+    sharding = measure_sharding()
+    current["sharding"] = sharding
+    measured_note = (
+        f"measured={sharding['measured_speedup']:.2f}x"
+        if sharding["host_cores"] >= SHARD_GATE
+        else f"measured not enforceable on {sharding['host_cores']} cores"
+    )
+    print(
+        f"{'sharding_' + str(SHARD_GATE) + 'w':<20} "
+        f"est={sharding['estimate']:<12.4f} "
+        f"multidev={sharding['multidev_ms']:.3f}ms "
+        f"modeled={sharding['modeled_speedup']:.2f}x {measured_note}"
+    )
 
     if args.update_baselines:
         BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
@@ -168,6 +289,7 @@ def main(argv=None) -> int:
     failures = compare(
         current, baseline, args.wall_tolerance, args.min_speedup
     )
+    failures += compare_sharding(sharding, baseline.get("sharding", {}))
     if failures:
         print("\nPERF SMOKE FAILED:")
         for failure in failures:

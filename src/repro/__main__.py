@@ -36,7 +36,7 @@ from repro.errors import ReproError
 from repro.graph.datasets import DATASET_ORDER, load_dataset
 from repro.query.extract import extract_query
 from repro.serve.request import EstimateRequest
-from repro.serve.service import EstimationService
+from repro.serve.service import EstimationService, ServiceConfig
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +72,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulated-ms latency budget (degrades instead of failing)",
     )
     est.add_argument("--max-samples", type=int, default=131_072)
+    est.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition every round across N worker processes "
+             "(bit-identical estimates; default: REPRO_SHARDS or 1)",
+    )
 
     bench = sub.add_parser(
         "serve-bench", help="serving throughput benchmark (batching + cache)"
@@ -93,6 +98,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--deadline-ms", type=float, default=None,
         help="per-request deadline (simulated ms)",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run every config with N shard workers per engine",
     )
     bench.add_argument(
         "--no-cache", action="store_true", help="skip the cache-on configs"
@@ -137,17 +146,21 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         graph, args.k, rng=args.seed, query_type=args.query_type,
         name=f"{args.dataset}-q{args.k}-{args.query_type}-{args.seed}",
     )
-    service = EstimationService()
-    response = service.estimate(
-        EstimateRequest(
-            graph=graph,
-            query=query,
-            target_rel_ci=args.target_ci,
-            deadline_ms=args.deadline_ms,
-            max_samples=args.max_samples,
-            estimator=args.estimator,
+    config = ServiceConfig(n_shards=args.shards)
+    service = EstimationService(config)
+    try:
+        response = service.estimate(
+            EstimateRequest(
+                graph=graph,
+                query=query,
+                target_rel_ci=args.target_ci,
+                deadline_ms=args.deadline_ms,
+                max_samples=args.max_samples,
+                estimator=args.estimator,
+            )
         )
-    )
+    finally:
+        service.close()
     print(f"dataset:    {args.dataset}  ({graph.n_vertices} vertices)")
     print(f"query:      {query.name}  ({query.n_vertices} vertices, "
           f"{query.n_edges} edges)")
@@ -158,6 +171,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
           f"{response.n_rounds} rounds)")
     print(f"latency:    {response.latency_ms:.3f} simulated ms "
           f"(build {response.build_ms:.3f}, service {response.service_ms:.3f})")
+    if service.n_shards > 1:
+        print(f"shards:     {service.n_shards} worker processes")
     print(f"stopped:    {response.stop_reason}"
           + ("  [DEGRADED: best-effort estimate]" if response.degraded else ""))
     return 0
@@ -194,6 +209,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         for label, kwargs in configs:
             record = run_serving_benchmark(
                 clients=n_clients, n_requests=args.requests, pool=pool,
+                shards=args.shards or 1,
                 **kwargs,
             )
             record["config"] = label
@@ -217,6 +233,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "requests": args.requests,
             "distinct": args.distinct,
             "clients": clients,
+            "shards": args.shards or 1,
             "records": records,
         })
         if path is not None:

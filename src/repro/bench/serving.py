@@ -98,6 +98,7 @@ def run_serving_benchmark(
     serial: bool = False,
     pool: Optional[Sequence[EstimateRequest]] = None,
     policy: Optional[BudgetPolicy] = None,
+    shards: int = 1,
 ) -> Dict[str, object]:
     """Drive one serving configuration; returns a flat result record.
 
@@ -105,7 +106,8 @@ def run_serving_benchmark(
     waves of that many, each wave drained before the next arrives (a wave
     models ``clients`` simultaneous callers).  ``serial=True`` restricts
     the scheduler to one request per device batch — the no-batching
-    baseline.
+    baseline.  ``shards`` partitions every round across that many worker
+    processes (bit-identical estimates; the admission cap scales with it).
     """
     if pool is None:
         pool = build_request_pool(distinct=distinct)
@@ -113,12 +115,16 @@ def run_serving_benchmark(
         cache_bytes=(64 << 20) if cache else 0,
         max_batch_requests=1 if serial else 64,
         policy=policy or BudgetPolicy(),
+        n_shards=shards,
     )
     service = EstimationService(config)
     stream = request_stream(pool, n_requests)
-    for start in range(0, len(stream), max(1, clients)):
-        service.estimate_many(stream[start:start + max(1, clients)])
-    snap = service.metrics_snapshot()
+    try:
+        for start in range(0, len(stream), max(1, clients)):
+            service.estimate_many(stream[start:start + max(1, clients)])
+        snap = service.metrics_snapshot()
+    finally:
+        service.close()
     latency = snap["latency_ms"]
     total_ms = snap["clock_ms"]
     return {
@@ -126,6 +132,8 @@ def run_serving_benchmark(
         "n_requests": n_requests,
         "cache": cache,
         "serial": serial,
+        "shards": shards,
+        "rounds_by_shard_count": snap["rounds_by_shard_count"],
         "samples_per_second": snap["samples_per_second"],
         "requests_per_second": (
             snap["n_completed"] / total_ms * 1000.0 if total_ms > 0 else 0.0

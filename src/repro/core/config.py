@@ -44,6 +44,19 @@ def default_backend() -> str:
     return os.environ.get("REPRO_BACKEND", "vectorized")
 
 
+def default_shards() -> int:
+    """Session default for :attr:`EngineConfig.n_shards`.
+
+    ``1`` (single-process) unless the ``REPRO_SHARDS`` environment variable
+    says otherwise — the same opt-in pattern as ``REPRO_BACKEND``.
+    """
+    raw = os.environ.get("REPRO_SHARDS", "1")
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(f"REPRO_SHARDS must be an integer, got {raw!r}")
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Configuration of one :class:`~repro.core.engine.GSWORDEngine` run.
@@ -67,6 +80,12 @@ class EngineConfig:
             reference path.  Estimates and profiles are bit-identical; the
             engine silently falls back to scalar for custom estimators the
             vector kernels don't cover.
+        n_shards: number of simulated devices (OS worker processes) a
+            round's warp batch is partitioned across.  ``1`` (the default,
+            overridable via ``REPRO_SHARDS``) runs in-process.  Because
+            each warp owns its RNG substream, estimates are bit-identical
+            for any shard count; only wall-clock and the multi-device
+            makespan telemetry change.  Requires the vectorized backend.
     """
 
     sync_mode: SyncMode = SyncMode.SAMPLE
@@ -76,6 +95,7 @@ class EngineConfig:
     max_depth: Optional[int] = None
     streaming_threshold: int = 32
     backend: str = field(default_factory=default_backend)
+    n_shards: int = field(default_factory=default_shards)
 
     def __post_init__(self) -> None:
         if not isinstance(self.sync_mode, SyncMode):
@@ -95,6 +115,13 @@ class EngineConfig:
             raise ConfigError("max_depth must be positive when given")
         if self.streaming_threshold <= 0:
             raise ConfigError("streaming_threshold must be positive")
+        if self.n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        if self.n_shards > 1 and self.backend != "vectorized":
+            raise ConfigError(
+                "sharded execution (n_shards > 1) requires the vectorized "
+                "backend; the scalar reference path is single-process only"
+            )
 
     # Named presets matching the paper's method labels -----------------
     @classmethod
@@ -136,3 +163,6 @@ class EngineConfig:
 
     def with_backend(self, backend: str) -> "EngineConfig":
         return replace(self, backend=backend)
+
+    def with_shards(self, n_shards: int) -> "EngineConfig":
+        return replace(self, n_shards=n_shards)

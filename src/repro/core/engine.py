@@ -102,6 +102,12 @@ class GPURunResult:
     #: Warp-execution backend that produced this result ("vectorized" or
     #: "scalar"); both yield bit-identical numbers, so this is telemetry.
     backend: str = "scalar"
+    #: Shard count the round actually executed with (1 = in-process) and
+    #: the per-shard simulated kernel durations.  Estimates, profiles and
+    #: :meth:`simulated_ms` are bit-identical across shard counts; these
+    #: fields feed the separate multi-device makespan telemetry.
+    n_shards: int = 1
+    shard_ms: List[float] = field(default_factory=list)
 
     @property
     def valid_ratio(self) -> float:
@@ -113,6 +119,16 @@ class GPURunResult:
         """Simulated kernel duration for the samples actually run."""
         device = DeviceModel(self.spec)
         return device.kernel_ms(self.profile, self.longest_warp_cycles)
+
+    def multidev_ms(self) -> float:
+        """Multi-device duration: max-over-shards makespan plus the modeled
+        HT all-reduce.  Falls back to :meth:`simulated_ms` when the round
+        ran on one device."""
+        if self.n_shards <= 1 or not self.shard_ms:
+            return self.simulated_ms()
+        from repro.multidev.timing import multidev_makespan_ms
+
+        return multidev_makespan_ms(self.shard_ms, self.n_shards)
 
     def simulated_ms_at(self, target_samples: int) -> float:
         """Simulated duration extrapolated to ``target_samples`` i.i.d.
@@ -164,6 +180,24 @@ class GSWORDEngine:
         self.spec = spec
         self.device = device if device is not None else DeviceModel(spec)
         self.injector = injector
+        # Cross-round caches (vectorized backend): last-built vector kernel,
+        # reusable lane-state scratch, and the lazily started shard pool.
+        self._kernel_cache: Optional[tuple] = None
+        self._scratch = None
+        self._shard_pool = None
+
+    def close(self) -> None:
+        """Release held resources: the shard worker pool and its shared
+        segment.  Idempotent; a closed engine can still run in-process."""
+        if self._shard_pool is not None:
+            self._shard_pool.close()
+            self._shard_pool = None
+
+    def __enter__(self) -> "GSWORDEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def session(
         self,
@@ -210,6 +244,15 @@ class GSWORDEngine:
         remaining = n_samples
         n_warps = 0
         total_collected = 0
+        # Per-shard timing accumulation (multi-device makespan telemetry);
+        # the merged ``kernel`` profile stays the single-device number and
+        # is bit-identical across shard counts.
+        n_shards = 1 if provider is None else provider.n_shards
+        shard_profiles: List[KernelProfile] = []
+        shard_longest: List[float] = []
+        if n_shards > 1:
+            shard_profiles = [KernelProfile() for _ in range(n_shards)]
+            shard_longest = [0.0] * n_shards
         while remaining > 0 and n_warps < max_warps:
             quota = min(tasks_per_warp, remaining)
             if provider is not None:
@@ -222,10 +265,20 @@ class GSWORDEngine:
             acc.merge(warp_acc)
             kernel.add_warp(warp_profile, samples=warp_count, valid=warp_valid)
             longest = max(longest, warp_profile.cycles)
+            if n_shards > 1:
+                s = provider.shard_of(n_warps)
+                shard_profiles[s].add_warp(
+                    warp_profile, samples=warp_count, valid=warp_valid
+                )
+                shard_longest[s] = max(shard_longest[s], warp_profile.cycles)
             collected.extend(warp_collect)
             total_collected += warp_count
             remaining -= warp_count
             n_warps += 1
+        shard_ms = [
+            self.device.kernel_ms(p, l)
+            for p, l in zip(shard_profiles, shard_longest)
+        ]
         return GPURunResult(
             estimate=acc.estimate,
             n_samples=total_collected,
@@ -239,6 +292,8 @@ class GSWORDEngine:
             spec=self.spec,
             collected=collected,
             backend="scalar" if provider is None else "vectorized",
+            n_shards=n_shards,
+            shard_ms=shard_ms,
         )
 
     def _vector_provider(
@@ -263,6 +318,39 @@ class GSWORDEngine:
         return VectorWarpProvider(
             self, kernel_cls, cg, order, n_samples, rng, collect_states
         )
+
+    def _vector_kernel(self, kernel_cls, cg: CandidateGraph, order: MatchingOrder):
+        """Last-plan kernel cache: ``EngineSession`` rounds reuse one
+        ``(cg, order)`` pair, so the derived tables (and the shard pool's
+        shared-memory publication keyed on object identity) are built
+        once, not per round."""
+        cache = self._kernel_cache
+        if (
+            cache is not None
+            and cache[0] is cg
+            and cache[1] is order
+            and cache[2] is kernel_cls
+        ):
+            return cache[3]
+        kernel = kernel_cls(cg, order)
+        self._kernel_cache = (cg, order, kernel_cls, kernel)
+        return kernel
+
+    def _lane_scratch(self):
+        """The engine-lifetime lane-state scratch (reused across rounds)."""
+        if self._scratch is None:
+            from repro.core.vectorized import LaneStateScratch
+
+            self._scratch = LaneStateScratch()
+        return self._scratch
+
+    def _shard_executor(self):
+        """The lazily started shard worker pool (``config.n_shards`` > 1)."""
+        if self._shard_pool is None:
+            from repro.multidev.executor import ShardedVectorExecutor
+
+            self._shard_pool = ShardedVectorExecutor(self.config.n_shards)
+        return self._shard_pool
 
     # ------------------------------------------------------------------
     # Warp execution
@@ -738,7 +826,12 @@ class EngineSession:
                 self.n_faults += 1
                 report_errors.append(error)
                 fault_ms += self.abort_charge_ms(error)
-                if attempt >= retry.max_retries:
+                # Non-retryable faults (a shard worker is gone until the
+                # pool heals) surface immediately: relaunching the same
+                # round cannot succeed, so retries would only burn budget.
+                if attempt >= retry.max_retries or not getattr(
+                    error, "retryable", True
+                ):
                     self.fault_ms += fault_ms
                     raise
                 fault_ms += retry.backoff_for(attempt)
@@ -788,6 +881,15 @@ class EngineSession:
                 f"lane desynchronisation on launch {faults.launch_index}: "
                 "warp lanes disagree on iteration depth"
             )
+        if (
+            faults is not None
+            and faults.shard_crashes
+            and engine.config.n_shards > 1
+        ):
+            # Arm the injected shard crash: the chosen worker hard-exits
+            # when this launch's round dispatches to it, exercising the
+            # real death-detection path rather than a synthetic raise.
+            engine._shard_executor().inject_crash(faults.launch_index)
         round_rng = spawn_generators(self._root, 1)[0]
         round_result = engine.run(
             self.cg, self.order, n_samples, rng=round_rng,

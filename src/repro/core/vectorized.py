@@ -26,12 +26,20 @@ n - w·tpw)``.  The scalar loop sizes warp ``w``'s quota from the live
 remaining count, which only differs from the guess when inheritance
 over-collects; the fold detects that and re-runs the affected warp from
 its spawned ``SeedSequence`` child (replayable by construction).
+
+The wave executor itself is split off as :class:`WaveRunner`: everything it
+needs — the kernel tables, a frozen :class:`WaveParams`, per-warp generator
+states — is picklable or shared-memory-mappable, which is what lets
+:mod:`repro.multidev` run slices of a round's warps in worker processes
+while remaining bit-identical to in-process execution (each warp owns its
+RNG substream, so results are independent of wave composition).
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +54,7 @@ from repro.core.engine import (
 )
 from repro.estimators.ht import HTAccumulator
 from repro.estimators.vectorized import StepPrep, StepResult, VectorKernel
+from repro.gpu.costmodel import GPUSpec
 from repro.gpu.memory import (
     ARRAY_GLOBAL_CANDIDATES,
     ARRAY_LOCAL_CANDIDATES,
@@ -54,7 +63,12 @@ from repro.gpu.memory import (
 )
 from repro.gpu.profiler import WarpProfile
 from repro.query.matching_order import MatchingOrder
-from repro.utils.rng import RandomSource, generator_from_state, spawn_generator_states
+from repro.utils.rng import (
+    GeneratorState,
+    RandomSource,
+    generator_from_state,
+    spawn_generator_states,
+)
 
 #: Warps stepped together per wave.  Bounds transient state-array memory and
 #: keeps :func:`batched_union_counts` row keys comfortably inside int64.
@@ -65,6 +79,64 @@ _WAVE_CHUNK = 1024
 WarpResult = Tuple[
     HTAccumulator, WarpProfile, int, List[Tuple[Tuple[int, ...], float]], int
 ]
+
+
+@dataclass(frozen=True)
+class WaveParams:
+    """Everything :class:`WaveRunner` needs beyond the kernel tables.
+
+    A frozen, picklable snapshot of the engine knobs the wave loops read —
+    shard workers receive one of these instead of the engine object.
+    """
+
+    sync_mode: SyncMode
+    inheritance: bool
+    streaming: bool
+    streaming_threshold: int
+    has_refine: bool
+    target: int
+    n_q: int
+    warp_size: int
+    spec: GPUSpec
+    collect_states: bool
+
+
+class LaneStateScratch:
+    """Growable flat buffers behind the per-wave ``(K, W, n_q)`` lane-state
+    arrays.
+
+    One scratch lives per engine (and per shard worker) and is reused
+    across waves *and* rounds: ``acquire`` hands out reshaped views of the
+    flat buffers after resetting them to the fresh-lane values, so no
+    state can leak between rounds and no allocation happens once the
+    high-water mark is reached.
+    """
+
+    __slots__ = ("_inst", "_prob", "_depth")
+
+    def __init__(self) -> None:
+        self._inst = np.zeros(0, dtype=np.int64)
+        self._prob = np.zeros(0, dtype=np.float64)
+        self._depth = np.zeros(0, dtype=np.int64)
+
+    def acquire(
+        self, K: int, W: int, n_q: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reset views shaped ``(K, W, n_q)`` / ``(K, W)`` / ``(K, W)``."""
+        need3 = K * W * n_q
+        need2 = K * W
+        if self._inst.size < need3:
+            self._inst = np.empty(need3, dtype=np.int64)
+        if self._prob.size < need2:
+            self._prob = np.empty(need2, dtype=np.float64)
+            self._depth = np.empty(need2, dtype=np.int64)
+        inst = self._inst[:need3].reshape(K, W, n_q)
+        prob = self._prob[:need2].reshape(K, W)
+        depth = self._depth[:need2].reshape(K, W)
+        inst.fill(-1)
+        prob.fill(1.0)
+        depth.fill(0)
+        return inst, prob, depth
 
 
 class _WarpTask:
@@ -99,60 +171,48 @@ class _WarpTask:
         self.n_collected = 0
 
 
-class VectorWarpProvider:
-    """Wave-executes all of a run's warps; hands results to the fold loop.
+class WaveRunner:
+    """Executes warps in waves against one kernel's tables.
 
-    Construction runs every warp at its optimistic quota.  :meth:`warp`
-    returns the cached result when the fold confirms the quota, or re-runs
-    that single warp (from the same spawned child state, so the random
-    stream is identical) when inheritance made the true quota smaller.
+    Self-contained: given the per-warp spawned generator states and task
+    quotas it produces the same :data:`WarpResult` tuples regardless of how
+    the warps are grouped into waves or which process runs them — the
+    bit-identity property multi-device sharding rests on.
     """
 
     def __init__(
         self,
-        engine,
-        kernel_cls,
-        cg: CandidateGraph,
-        order: MatchingOrder,
-        n_samples: int,
-        rng: RandomSource,
-        collect_states: bool,
+        kernel: VectorKernel,
+        params: WaveParams,
+        scratch: Optional[LaneStateScratch] = None,
     ) -> None:
-        self.engine = engine
-        self.kernel: VectorKernel = kernel_cls(cg, order)
-        self.collect_states = collect_states
-        self.W = engine.spec.warp_size
-        self.target = engine._target_depth(order)
-        self.n_q = len(order)
-        tpw = engine.config.tasks_per_warp
-        self.max_warps = math.ceil(n_samples / tpw)
-        self.states = spawn_generator_states(rng, self.max_warps)
-        self.guesses = [
-            min(tpw, n_samples - w * tpw) for w in range(self.max_warps)
-        ]
-        self.results: List[WarpResult] = []
-        for lo in range(0, self.max_warps, _WAVE_CHUNK):
-            ids = list(range(lo, min(lo + _WAVE_CHUNK, self.max_warps)))
-            self.results.extend(
-                self._wave(ids, [self.guesses[w] for w in ids])
-            )
+        self.kernel = kernel
+        self.p = params
+        self.scratch = scratch if scratch is not None else LaneStateScratch()
 
-    def warp(self, w: int, quota: int) -> WarpResult:
-        if quota == self.guesses[w]:
-            return self.results[w]
-        return self._wave([w], [quota])[0]
+    def run_warps(
+        self, states: Sequence[GeneratorState], quotas: Sequence[int]
+    ) -> List[WarpResult]:
+        """Run one warp per ``(state, quota)`` pair, chunked into waves."""
+        results: List[WarpResult] = []
+        for lo in range(0, len(states), _WAVE_CHUNK):
+            hi = min(lo + _WAVE_CHUNK, len(states))
+            results.extend(self._wave(states[lo:hi], quotas[lo:hi]))
+        return results
 
     # ------------------------------------------------------------------
     # Wave execution
     # ------------------------------------------------------------------
-    def _wave(self, warp_ids: Sequence[int], quotas: Sequence[int]) -> List[WarpResult]:
+    def _wave(
+        self, states: Sequence[GeneratorState], quotas: Sequence[int]
+    ) -> List[WarpResult]:
         tasks = []
-        for row, (w, quota) in enumerate(zip(warp_ids, quotas)):
-            t = _WarpTask(row, generator_from_state(self.states[w]))
+        for row, (state, quota) in enumerate(zip(states, quotas)):
+            t = _WarpTask(row, generator_from_state(state))
             t.remaining = quota
             t.pool = quota
             tasks.append(t)
-        if self.engine.config.sync_mode is SyncMode.SAMPLE:
+        if self.p.sync_mode is SyncMode.SAMPLE:
             self._wave_sample(tasks)
         else:
             self._wave_iteration(tasks)
@@ -162,13 +222,11 @@ class VectorWarpProvider:
         ]
 
     def _wave_sample(self, tasks: List[_WarpTask]) -> None:
-        W, target, n_q = self.W, self.target, self.n_q
-        spec = self.engine.spec
-        inherit = self.engine.config.inheritance
+        W, target, n_q = self.p.warp_size, self.p.target, self.p.n_q
+        spec = self.p.spec
+        inherit = self.p.inheritance
         K = len(tasks)
-        inst = np.full((K, W, n_q), -1, dtype=np.int64)
-        prob = np.ones((K, W), dtype=np.float64)
-        depth = np.zeros((K, W), dtype=np.int64)
+        inst, prob, depth = self.scratch.acquire(K, W, n_q)
         for t in tasks:
             t.need_batch = True
         live = list(tasks)
@@ -225,11 +283,9 @@ class VectorWarpProvider:
             live = next_live
 
     def _wave_iteration(self, tasks: List[_WarpTask]) -> None:
-        W, target, n_q = self.W, self.target, self.n_q
+        W, target, n_q = self.p.warp_size, self.p.target, self.p.n_q
         K = len(tasks)
-        inst = np.full((K, W, n_q), -1, dtype=np.int64)
-        prob = np.ones((K, W), dtype=np.float64)
-        depth = np.zeros((K, W), dtype=np.int64)
+        inst, prob, depth = self.scratch.acquire(K, W, n_q)
         for t in tasks:
             t.fetched = min(W, t.pool)
             t.active = np.zeros(W, dtype=bool)
@@ -266,7 +322,7 @@ class VectorWarpProvider:
                         pv = float(prob[r, lane])
                         t.acc.add(1.0 / pv)
                         t.n_valid += 1
-                        if self.collect_states:
+                        if self.p.collect_states:
                             t.collected.append(
                                 (
                                     tuple(int(x) for x in inst[r, lane, :target]),
@@ -371,18 +427,18 @@ class VectorWarpProvider:
         depth: np.ndarray,
     ) -> None:
         """Leaf accounting at batch end: one HT value per root task."""
-        target = self.target
+        target = self.p.target
         r = t.row
         drow = depth[r]
         prow = prob[r]
-        for lane in range(self.W):
+        for lane in range(self.p.warp_size):
             if not t.active[lane]:
                 continue
             if t.running[lane] and drow[lane] == target:
                 pv = float(prow[lane])
                 t.acc.add(1.0 / pv)
                 t.n_valid += 1
-                if self.collect_states:
+                if self.p.collect_states:
                     t.collected.append(
                         (tuple(int(x) for x in inst[r, lane, :target]), pv)
                     )
@@ -395,6 +451,13 @@ class VectorWarpProvider:
     # ------------------------------------------------------------------
     # Cost accounting (mirrors GSWORDEngine._charge_iteration)
     # ------------------------------------------------------------------
+    def _lockstep_load_cost(self, max_chain: float, total_loads: float) -> float:
+        """Same formula as ``GSWORDEngine._lockstep_load_cost``."""
+        if total_loads <= 0:
+            return 0.0
+        spec = self.p.spec
+        return max_chain * spec.mem_latency_cycles + total_loads * spec.issue_cycles
+
     def _charge_step(
         self,
         live: List[_WarpTask],
@@ -408,9 +471,8 @@ class VectorWarpProvider:
     ) -> np.ndarray:
         """Charge one super-step for every stepping warp; returns the dense
         ``(n_warps, warp_size)`` validity matrix for the control logic."""
-        eng = self.engine
-        spec = eng.spec
-        W = self.W
+        spec = self.p.spec
+        W = self.p.warp_size
         S = len(live)
 
         def dense(vals: np.ndarray, fill=0):
@@ -426,8 +488,8 @@ class VectorWarpProvider:
         clen = dense(prep.clen)
         probes = dense(res.probes)
 
-        has_refine = eng.estimator.has_refine_stage
-        streaming = eng.config.streaming and has_refine
+        has_refine = self.p.has_refine
+        streaming = self.p.streaming and has_refine
         needs_ref = present & (nb > 0) if has_refine else np.zeros_like(present)
 
         backs = np.where(present, nb, 0)
@@ -483,7 +545,7 @@ class VectorWarpProvider:
 
         if streaming:
             lane_clens = np.where(needs_ref, clen, 0)
-            threshold = eng.config.streaming_threshold
+            threshold = self.p.streaming_threshold
             limit = W if threshold is None else threshold
             if limit <= W:
                 full = lane_clens // W
@@ -507,7 +569,7 @@ class VectorWarpProvider:
             cycles_before = p.cycles
             tl = int(tot_lookup[s]) * _PROBE_LOADS
             p.charge_memory(
-                eng._lockstep_load_cost(int(max_lookup[s]) * _PROBE_LOADS, tl),
+                self._lockstep_load_cost(int(max_lookup[s]) * _PROBE_LOADS, tl),
                 tl,
                 0,
             )
@@ -540,7 +602,7 @@ class VectorWarpProvider:
                 # the scalar path's ``sum()`` over the 32-lane list.
                 total_leftover = sum(lane_leftover)
                 p.charge_memory(
-                    eng._lockstep_load_cost(
+                    self._lockstep_load_cost(
                         max_leftover * _PROBE_LOADS,
                         total_leftover * _PROBE_LOADS,
                     ),
@@ -550,7 +612,7 @@ class VectorWarpProvider:
             else:
                 tp = int(tot_probe[s]) * _PROBE_LOADS
                 p.charge_memory(
-                    eng._lockstep_load_cost(
+                    self._lockstep_load_cost(
                         int(max_probe[s]) * _PROBE_LOADS, tp
                     ),
                     tp,
@@ -566,3 +628,74 @@ class VectorWarpProvider:
                 p.charge_idle_wait(p.cycles - cycles_before, int(busy[s]), W)
             p.note_lanes(busy=int(busy[s]), total=W)
         return validm
+
+
+def wave_params_for(engine, order: MatchingOrder, collect_states: bool) -> WaveParams:
+    """The :class:`WaveParams` snapshot of ``engine`` for one run."""
+    config = engine.config
+    return WaveParams(
+        sync_mode=config.sync_mode,
+        inheritance=config.inheritance,
+        streaming=config.streaming,
+        streaming_threshold=config.streaming_threshold,
+        has_refine=engine.estimator.has_refine_stage,
+        target=engine._target_depth(order),
+        n_q=len(order),
+        warp_size=engine.spec.warp_size,
+        spec=engine.spec,
+        collect_states=collect_states,
+    )
+
+
+class VectorWarpProvider:
+    """Wave-executes all of a run's warps; hands results to the fold loop.
+
+    Construction runs every warp at its optimistic quota — in-process when
+    ``n_shards == 1``, or partitioned round-robin by warp index across the
+    engine's shard pool otherwise (bit-identical either way, because each
+    warp's result depends only on its own spawned generator state).
+    :meth:`warp` returns the cached result when the fold confirms the
+    quota, or re-runs that single warp locally (from the same spawned child
+    state, so the random stream is identical) when inheritance made the
+    true quota smaller.
+    """
+
+    def __init__(
+        self,
+        engine,
+        kernel_cls,
+        cg: CandidateGraph,
+        order: MatchingOrder,
+        n_samples: int,
+        rng: RandomSource,
+        collect_states: bool,
+    ) -> None:
+        self.engine = engine
+        self.kernel: VectorKernel = engine._vector_kernel(kernel_cls, cg, order)
+        self.params = wave_params_for(engine, order, collect_states)
+        self.runner = WaveRunner(
+            self.kernel, self.params, engine._lane_scratch()
+        )
+        tpw = engine.config.tasks_per_warp
+        self.max_warps = math.ceil(n_samples / tpw)
+        self.states = spawn_generator_states(rng, self.max_warps)
+        self.guesses = [
+            min(tpw, n_samples - w * tpw) for w in range(self.max_warps)
+        ]
+        self.n_shards = min(engine.config.n_shards, max(1, self.max_warps))
+        if self.n_shards > 1:
+            executor = engine._shard_executor()
+            self.results = executor.run_round(
+                self.kernel, self.params, self.states, self.guesses
+            )
+        else:
+            self.results = self.runner.run_warps(self.states, self.guesses)
+
+    def shard_of(self, w: int) -> int:
+        """Shard owning warp ``w`` (round-robin by warp index)."""
+        return w % self.n_shards
+
+    def warp(self, w: int, quota: int) -> WarpResult:
+        if quota == self.guesses[w]:
+            return self.results[w]
+        return self.runner.run_warps([self.states[w]], [quota])[0]

@@ -7,6 +7,8 @@ still letting programming errors (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -49,10 +51,13 @@ class DeviceFault(ReproError):
     detected data corruption (the ECC analog), lane desynchronisation, and
     the specialised subclasses below.  ``kind`` is a short machine-readable
     label (``"corruption"``, ``"timeout"``, ``"oom"``...) used by the
-    serving layer's fault metrics.
+    serving layer's fault metrics.  ``retryable`` tells the in-round retry
+    loop whether relaunching can help (transient faults) or not (a shard
+    worker is gone until the pool heals).
     """
 
     kind: str = "fault"
+    retryable: bool = True
 
     def __init__(self, message: str = "", kind: str = "") -> None:
         super().__init__(message or "simulated device fault")
@@ -87,6 +92,24 @@ class DeviceOOM(DeviceFault):
         )
         self.requested_bytes = requested_bytes
         self.budget_bytes = budget_bytes
+
+
+class ShardFailure(DeviceFault):
+    """Raised when a shard worker process dies (or misbehaves) mid-round.
+
+    Unlike transient device faults, relaunching the same round cannot help
+    until the pool has respawned the worker — ``retryable = False`` makes
+    the in-round retry loop surface the failure immediately so the serving
+    layer can degrade to its fallback path instead of burning retries.
+    The pool heals (respawns the dead worker) before the next round.
+    """
+
+    kind = "shard"
+    retryable = False
+
+    def __init__(self, message: str = "", shard: Optional[int] = None) -> None:
+        super().__init__(message or "shard worker failure")
+        self.shard = shard
 
 
 class ServiceError(ReproError):

@@ -28,7 +28,7 @@ three design points:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Type
+from typing import Dict, Optional, Tuple, Type
 
 import numpy as np
 
@@ -437,3 +437,64 @@ def vector_kernel_for(
     if type(estimator) is AlleyEstimator:
         return AlleyVectorKernel
     return None
+
+
+# ----------------------------------------------------------------------
+# Table snapshot / rebuild (multi-device sharding)
+# ----------------------------------------------------------------------
+#: Array attributes that fully determine the step phases.  ``cg`` and
+#: ``order`` are consulted only at construction time, so a kernel rebuilt
+#: from these tables (plus the scalars below) is step-for-step identical.
+_TABLE_ARRAYS: Tuple[str, ...] = (
+    "b_off", "b_j", "b_eid", "b_lo", "b_hi", "nbacks",
+    "g_len", "g_off", "gpool", "ecand", "local_off", "local",
+    "_pool", "_g_base",
+)
+_LABEL_ARRAYS: Tuple[str, ...] = ("labels", "qlab")
+
+_KERNEL_CLASSES: Dict[str, Type[VectorKernel]] = {}
+
+
+def _register_kernel_class(cls: Type[VectorKernel]) -> None:
+    _KERNEL_CLASSES[cls.__name__] = cls
+
+
+_register_kernel_class(WanderJoinVectorKernel)
+_register_kernel_class(AlleyVectorKernel)
+
+
+def kernel_tables(
+    kernel: VectorKernel,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Snapshot ``kernel`` as ``(meta, arrays)``.
+
+    ``arrays`` is the read-only table set a shard worker maps from shared
+    memory; ``meta`` is the small picklable remainder.  Round-trips through
+    :func:`kernel_from_tables`.
+    """
+    names = _TABLE_ARRAYS + (_LABEL_ARRAYS if kernel.direct else ())
+    arrays = {name: getattr(kernel, name) for name in names}
+    meta: Dict[str, object] = {
+        "cls": type(kernel).__name__,
+        "n_q": kernel.n_q,
+        "direct": kernel.direct,
+    }
+    return meta, arrays
+
+
+def kernel_from_tables(
+    meta: Dict[str, object], arrays: Dict[str, np.ndarray]
+) -> VectorKernel:
+    """Rebuild a step-identical kernel from a :func:`kernel_tables`
+    snapshot without re-deriving anything from a candidate graph (the
+    arrays may be zero-copy shared-memory views)."""
+    cls = _KERNEL_CLASSES[str(meta["cls"])]
+    kernel = cls.__new__(cls)
+    kernel.cg = None  # type: ignore[assignment]
+    kernel.order = None  # type: ignore[assignment]
+    kernel.n_q = int(meta["n_q"])  # type: ignore[call-overload]
+    kernel.direct = bool(meta["direct"])
+    names = _TABLE_ARRAYS + (_LABEL_ARRAYS if kernel.direct else ())
+    for name in names:
+        setattr(kernel, name, arrays[name])
+    return kernel

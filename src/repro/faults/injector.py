@@ -22,7 +22,7 @@ import threading
 from typing import Dict, Optional
 
 from repro.errors import SimulationError
-from repro.faults.plan import FAULT_KIND_ORDER, FaultPlan, LaunchFaults
+from repro.faults.plan import FaultKind, FaultPlan, LaunchFaults
 
 
 def fault_kind(error: BaseException) -> str:
@@ -47,7 +47,7 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._next_launch = 0
         self._injected: Dict[str, int] = {
-            kind.value: 0 for kind in FAULT_KIND_ORDER
+            kind.value: 0 for kind in FaultKind
         }
         self._n_launches = 0
         self._n_faulted_launches = 0

@@ -50,12 +50,21 @@ class FaultKind(str, enum.Enum):
     STALL = "stall"
     OOM = "oom"
     DESYNC = "desync"
+    #: A shard worker process hard-exits mid-round (multi-device execution
+    #: only; a no-op on single-shard engines).  Raises
+    #: :class:`~repro.errors.ShardFailure` via the real death-detection
+    #: path in :mod:`repro.multidev.executor`.
+    SHARD_CRASH = "shard_crash"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
 
 #: Stable draw order so adding a kind never perturbs earlier kinds' draws.
+#: SHARD_CRASH is deliberately *not* here: it draws from its own derived
+#: stream (see :meth:`FaultPlan._draw`), so pre-existing chaos schedules —
+#: including :meth:`FaultPlan.uniform`'s rate split over this tuple — stay
+#: bit-identical to before shard faults existed.
 FAULT_KIND_ORDER: Tuple[FaultKind, ...] = (
     FaultKind.CORRUPTION,
     FaultKind.STALL,
@@ -91,6 +100,10 @@ class LaunchFaults:
     @property
     def desyncs(self) -> bool:
         return FaultKind.DESYNC in self.kinds
+
+    @property
+    def shard_crashes(self) -> bool:
+        return FaultKind.SHARD_CRASH in self.kinds
 
 
 @dataclass(frozen=True)
@@ -138,6 +151,7 @@ class FaultPlan:
         stall: float = 0.0,
         oom: float = 0.0,
         desync: float = 0.0,
+        shard_crash: float = 0.0,
         **kwargs: object,
     ) -> "FaultPlan":
         """Convenience constructor from per-kind rates (keyword style)."""
@@ -147,6 +161,7 @@ class FaultPlan:
             (FaultKind.STALL, stall),
             (FaultKind.OOM, oom),
             (FaultKind.DESYNC, desync),
+            (FaultKind.SHARD_CRASH, shard_crash),
         ):
             if rate:
                 rates[kind] = float(rate)
@@ -196,15 +211,26 @@ class FaultPlan:
         # absent) still consumes its draw so schedules are comparable
         # across plans that differ in one rate only.
         draws = rng.random(len(FAULT_KIND_ORDER))
-        return tuple(
+        kinds = tuple(
             kind
             for kind, u in zip(FAULT_KIND_ORDER, draws)
             if u < self.rates.get(kind, 0.0)
         )
+        # SHARD_CRASH draws from its own derived stream so enabling it
+        # never perturbs the four classic kinds' schedules (and vice
+        # versa) — existing chaos baselines stay bit-identical.
+        crash_rate = self.rates.get(FaultKind.SHARD_CRASH, 0.0)
+        if crash_rate > 0.0:
+            crash_rng = np.random.default_rng(
+                derive_seed(self.seed, "fault-plan-shard", launch_index)
+            )
+            if crash_rng.random() < crash_rate:
+                kinds = kinds + (FaultKind.SHARD_CRASH,)
+        return kinds
 
     def expected_fault_rate(self) -> float:
         """Probability that a launch suffers at least one fault."""
         healthy = 1.0
-        for kind in FAULT_KIND_ORDER:
-            healthy *= 1.0 - self.rates.get(kind, 0.0)
+        for kind, rate in self.rates.items():
+            healthy *= 1.0 - rate
         return 1.0 - healthy

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import os
 import tempfile
-from dataclasses import dataclass
+import zipfile
+from dataclasses import dataclass, fields
 from functools import lru_cache
 from hashlib import sha256
 from pathlib import Path
@@ -142,8 +143,9 @@ DATASET_ORDER: Tuple[str, ...] = (
 # runs.  Generated graphs are therefore memoised as ``.npz`` files keyed by
 # a digest of the full profile, so any profile edit invalidates its entry.
 
-#: Bump when the on-disk layout or generator semantics change.
-_CACHE_FORMAT = 1
+#: Bump when the on-disk layout, key derivation, or generator semantics
+#: change.  2: explicit field-enumerated cache keys (no longer ``repr``).
+_CACHE_FORMAT = 2
 
 
 def _cache_dir() -> Optional[Path]:
@@ -167,14 +169,41 @@ def _cache_dir() -> Optional[Path]:
     return root / ".cache" / "datasets"
 
 
+def _cache_key(profile: DatasetProfile) -> str:
+    """Digest over the *complete* generator parameter set plus the format
+    version.  Every dataclass field is enumerated explicitly (name=value
+    in declaration order), so the key survives ``repr`` formatting changes
+    and any new profile field automatically invalidates stale entries."""
+    params = ";".join(
+        f"{f.name}={getattr(profile, f.name)!r}" for f in fields(profile)
+    )
+    return sha256(f"v{_CACHE_FORMAT};{params}".encode()).hexdigest()[:16]
+
+
 def _cache_path(profile: DatasetProfile) -> Optional[Path]:
     base = _cache_dir()
     if base is None:
         return None
-    digest = sha256(
-        f"v{_CACHE_FORMAT}:{profile!r}".encode()
-    ).hexdigest()[:16]
-    return base / f"{profile.name}-{digest}.npz"
+    return base / f"{profile.name}-{_cache_key(profile)}.npz"
+
+
+#: Failure modes of reading a cache entry that mean "corrupt or stale":
+#: truncated/garbage zip containers (``BadZipFile``, ``EOFError``), missing
+#: members (``KeyError``), malformed arrays (``ValueError``), filesystem
+#: errors (``OSError``), and graphs that fail CSR validation
+#: (:class:`GraphError`).
+_CACHE_LOAD_ERRORS = (
+    OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile, GraphError,
+)
+
+
+def _cache_evict(path: Path) -> None:
+    """Best-effort removal of a corrupt entry so the rebuilt graph can be
+    re-stored (and the bad file never gets retried on every load)."""
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:  # pragma: no cover - read-only checkout
+        pass
 
 
 def _cache_load(path: Path, name: str) -> Optional[CSRGraph]:
@@ -186,11 +215,15 @@ def _cache_load(path: Path, name: str) -> Optional[CSRGraph]:
                 labels=data["labels"],
                 name=name,
             )
-    except (OSError, KeyError, ValueError):
-        return None  # corrupt or stale entry: fall through to regeneration
+    except _CACHE_LOAD_ERRORS:
+        # Corrupt or partial entry (e.g. an interrupted write of an older
+        # repro version, or disk damage): evict it and regenerate.
+        _cache_evict(path)
+        return None
 
 
 def _cache_store(path: Path, graph: CSRGraph) -> None:
+    tmp: Optional[str] = None
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -204,8 +237,12 @@ def _cache_store(path: Path, graph: CSRGraph) -> None:
                 labels=graph.labels,
             )
         os.replace(tmp, path)  # atomic: concurrent readers see old or new
+        tmp = None
     except OSError:
         pass  # read-only checkout / full disk — caching is best-effort
+    finally:
+        if tmp is not None:  # failed mid-write: drop the partial tmp file
+            _cache_evict(Path(tmp))
 
 
 def _generate(profile: DatasetProfile) -> CSRGraph:

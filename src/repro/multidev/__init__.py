@@ -1,0 +1,23 @@
+"""Multi-device sharded execution for the vectorized backend.
+
+A round's warp batch is partitioned round-robin by warp index across N OS
+worker processes ("shards"), each running the same :class:`~repro.core
+.vectorized.WaveRunner` over kernel tables published once via
+``multiprocessing.shared_memory`` (zero-copy, read-only views).  Because
+every warp owns its spawned RNG substream, shard results assembled in warp
+order are bit-identical to single-process execution for any shard count;
+only wall-clock and the modeled multi-device makespan change.
+"""
+
+from repro.multidev.executor import ShardedVectorExecutor, shard_of
+from repro.multidev.shm import SharedArrayPack, attach_pack
+from repro.multidev.timing import allreduce_ms, multidev_makespan_ms
+
+__all__ = [
+    "ShardedVectorExecutor",
+    "SharedArrayPack",
+    "attach_pack",
+    "allreduce_ms",
+    "multidev_makespan_ms",
+    "shard_of",
+]

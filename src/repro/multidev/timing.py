@@ -1,0 +1,46 @@
+"""Multi-device timing: max-over-shards makespan plus a modeled all-reduce.
+
+Each shard is its own simulated device, so a sharded round's device time is
+the slowest shard's kernel time (the makespan) plus the cost of combining
+the per-shard HT accumulators.  The combine is modeled as a tree all-reduce
+— ``ceil(log2(N))`` sequential hops, the standard GPU collective shape —
+where each hop pays a link latency plus the (tiny) accumulator payload over
+an NVLink-class link.  The payload is a handful of doubles (count, valid
+count, running mean, M2, cycle counters), so the all-reduce is latency-
+dominated; modeling it keeps multi-device simulated-ms principled without
+pretending aggregation is free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Per-hop link latency of the modeled interconnect, in milliseconds
+#: (~5 µs — NVLink-class peer-to-peer latency).
+ALLREDUCE_HOP_LATENCY_MS = 5e-3
+
+#: Bytes reduced per shard per hop: the HT accumulator (n, n_valid, mean,
+#: M2) plus the kernel cycle counters, all float64/int64.
+ALLREDUCE_PAYLOAD_BYTES = 96
+
+#: Link bandwidth in GB/s (NVLink-class).  1 GB/s == 1e6 bytes/ms.
+ALLREDUCE_LINK_GBPS = 300.0
+
+
+def allreduce_ms(n_shards: int) -> float:
+    """Modeled duration of the HT-accumulator all-reduce across shards."""
+    if n_shards <= 1:
+        return 0.0
+    hops = math.ceil(math.log2(n_shards))
+    per_hop = ALLREDUCE_HOP_LATENCY_MS + ALLREDUCE_PAYLOAD_BYTES / (
+        ALLREDUCE_LINK_GBPS * 1e6
+    )
+    return hops * per_hop
+
+
+def multidev_makespan_ms(shard_ms: Sequence[float], n_shards: int) -> float:
+    """Round duration across devices: slowest shard plus the all-reduce."""
+    if not shard_ms:
+        return allreduce_ms(n_shards)
+    return max(shard_ms) + allreduce_ms(n_shards)

@@ -98,6 +98,10 @@ class ServiceMetrics:
     # mixed counts are expected when custom estimators force the scalar
     # fallback next to vector-kernel traffic.
     rounds_by_backend: Dict[str, int] = field(default_factory=dict)
+    # Rounds completed per shard count actually used (tiny rounds may run
+    # on fewer shards than configured — the engine never spreads one warp
+    # across many workers).
+    rounds_by_shard_count: Dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def record_submit(self, queue_depth: int) -> None:
@@ -129,6 +133,13 @@ class ServiceMetrics:
         for backend in backends:
             self.rounds_by_backend[backend] = (
                 self.rounds_by_backend.get(backend, 0) + 1
+            )
+
+    def record_shards(self, shard_counts: List[int]) -> None:
+        """Count one completed round per entry of ``shard_counts``."""
+        for n in shard_counts:
+            self.rounds_by_shard_count[n] = (
+                self.rounds_by_shard_count.get(n, 0) + 1
             )
 
     # Resilience events ------------------------------------------------
@@ -193,6 +204,10 @@ class ServiceMetrics:
             "mean_batch_size": self.mean_batch_size,
             "max_queue_depth": self.max_queue_depth,
             "rounds_by_backend": dict(self.rounds_by_backend),
+            "rounds_by_shard_count": {
+                str(n): count
+                for n, count in sorted(self.rounds_by_shard_count.items())
+            },
             "latency_ms": self.latency.snapshot(),
             "queue_wait_ms": self.queue_wait.snapshot(),
             "resilience": {

@@ -115,11 +115,16 @@ class BatchScheduler:
         warp_overcommit: admission stops once the batch's warps exceed
             ``resident_warps × warp_overcommit``.  1.0 fills the device
             exactly; values >1 trade per-batch latency for fewer launches.
+        n_shards: shard workers each engine partitions its rounds across.
+            The admission cap scales with it — N shards expose N devices'
+            worth of resident-warp slots, so batches should fill all of
+            them, not just one device's share.
     """
 
     spec: GPUSpec = DEFAULT_GPU
     max_batch_requests: int = 64
     warp_overcommit: float = 1.0
+    n_shards: int = 1
     device: DeviceModel = field(init=False)
 
     def __post_init__(self) -> None:
@@ -127,15 +132,19 @@ class BatchScheduler:
             raise ServiceError("max_batch_requests must be positive")
         if self.warp_overcommit <= 0:
             raise ServiceError("warp_overcommit must be positive")
+        if self.n_shards < 1:
+            raise ServiceError("n_shards must be >= 1")
         self.device = DeviceModel(self.spec)
 
     # ------------------------------------------------------------------
     def form_batch(self, queue: Deque[RoundTask]) -> List[RoundTask]:
-        """Pop a FIFO prefix of ``queue`` that fills the device.
+        """Pop a FIFO prefix of ``queue`` that fills the device(s).
 
         Always admits at least one task (a single round larger than the
         device simply runs as a saturating launch)."""
-        warp_cap = int(self.spec.resident_warps * self.warp_overcommit)
+        warp_cap = int(
+            self.spec.resident_warps * self.warp_overcommit * self.n_shards
+        )
         batch: List[RoundTask] = []
         warps = 0
         while queue and len(batch) < self.max_batch_requests:

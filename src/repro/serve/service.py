@@ -84,10 +84,15 @@ class ServiceConfig:
             :class:`CPUSamplingRunner` (``degraded=True`` responses)
             instead of erroring their tickets.
         fallback_threads: simulated CPU worker threads the fallback uses.
+        n_shards: worker processes each engine partitions its rounds
+            across (``None`` = whatever ``engine_config`` says).  Values
+            > 1 also scale the scheduler's warp-admission cap, so batches
+            fill all shards' resident-warp slots.
     """
 
     spec: GPUSpec = DEFAULT_GPU
     engine_config: EngineConfig = field(default_factory=EngineConfig.gsword)
+    n_shards: Optional[int] = None
     cache_bytes: int = 64 << 20
     max_batch_requests: int = 64
     warp_overcommit: float = 1.0
@@ -163,10 +168,22 @@ class EstimationService:
 
     def __init__(self, config: ServiceConfig = ServiceConfig()) -> None:
         self.config = config
+        n_shards = (
+            config.n_shards
+            if config.n_shards is not None
+            else config.engine_config.n_shards
+        )
+        self.engine_config = (
+            config.engine_config
+            if n_shards == config.engine_config.n_shards
+            else config.engine_config.with_shards(n_shards)
+        )
+        self.n_shards = n_shards
         self.scheduler = BatchScheduler(
             spec=config.spec,
             max_batch_requests=config.max_batch_requests,
             warp_overcommit=config.warp_overcommit,
+            n_shards=n_shards,
         )
         self.cache: Optional[PlanCache] = (
             PlanCache(max_bytes=config.cache_bytes) if config.cache_bytes > 0
@@ -286,6 +303,9 @@ class EstimationService:
             self.metrics.record_backends(
                 [r.backend for r in result.round_results if r is not None]
             )
+            self.metrics.record_shards(
+                [r.n_shards for r in result.round_results if r is not None]
+            )
             if result.n_faults or result.n_retries or result.fault_ms:
                 self.metrics.record_round_faults(
                     result.n_faults,
@@ -335,6 +355,25 @@ class EstimationService:
         if drain:
             self.drain()
 
+    def close(self) -> None:
+        """Release engine resources (shard worker pools, shared memory).
+
+        Stops the background worker first if one is running.  Safe to call
+        more than once; the service can keep serving afterwards (engines
+        lazily respawn their pools), but ``close()`` is meant as the final
+        teardown for sharded deployments."""
+        self.stop()
+        with self._lock:
+            engines = list(self._engines.values())
+        for engine in engines:
+            engine.close()
+
+    def __enter__(self) -> "EstimationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def _worker_loop(self) -> None:
         while True:
             try:
@@ -374,7 +413,7 @@ class EstimationService:
         if engine is None:
             engine = GSWORDEngine(
                 estimator,
-                self.config.engine_config,
+                self.engine_config,
                 self.config.spec,
                 device=self.device,
                 injector=self.injector,

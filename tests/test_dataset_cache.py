@@ -1,0 +1,126 @@
+"""On-disk dataset cache behaviour: keying, round-trip, corrupt eviction.
+
+The cache must be *safe to distrust*: any unreadable or stale entry is
+evicted and the graph regenerated — a damaged cache can cost time, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets
+from repro.graph.datasets import (
+    DATASET_PROFILES,
+    _cache_key,
+    _cache_load,
+    _cache_path,
+    _cache_store,
+    load_dataset,
+)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    """Point the dataset cache at a fresh directory and drop the in-memory
+    memo so every test exercises the disk path."""
+    monkeypatch.delenv("REPRO_DATASET_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_DATASET_CACHE_DIR", str(tmp_path))
+    datasets._load_dataset_cached.cache_clear()
+    yield tmp_path
+    datasets._load_dataset_cached.cache_clear()
+
+
+class TestCacheKey:
+    def test_key_covers_every_profile_field(self):
+        profile = DATASET_PROFILES["yeast"]
+        base = _cache_key(profile)
+        for f in dataclasses.fields(profile):
+            value = getattr(profile, f.name)
+            if isinstance(value, str):
+                bumped = value + "x"
+            elif isinstance(value, int):
+                bumped = value + 1
+            else:
+                bumped = float(value) + 0.125
+            changed = dataclasses.replace(profile, **{f.name: bumped})
+            assert _cache_key(changed) != base, (
+                f"changing {f.name!r} must change the cache key"
+            )
+
+    def test_key_is_stable_for_equal_profiles(self):
+        profile = DATASET_PROFILES["yeast"]
+        assert _cache_key(profile) == _cache_key(dataclasses.replace(profile))
+
+
+class TestCacheRoundTrip:
+    def test_store_then_load_is_identical(self, cache_dir):
+        graph = load_dataset("yeast")  # generates and stores
+        path = _cache_path(DATASET_PROFILES["yeast"])
+        assert path is not None and path.is_file()
+        cached = _cache_load(path, "yeast")
+        assert cached is not None
+        np.testing.assert_array_equal(cached.offsets, graph.offsets)
+        np.testing.assert_array_equal(cached.neighbors, graph.neighbors)
+        np.testing.assert_array_equal(cached.labels, graph.labels)
+
+    def test_cache_hit_skips_generation(self, cache_dir, monkeypatch):
+        load_dataset("yeast")
+        datasets._load_dataset_cached.cache_clear()
+
+        def _boom(profile):  # pragma: no cover - must not run
+            raise AssertionError("cache hit should not regenerate")
+
+        monkeypatch.setattr(datasets, "_generate", _boom)
+        graph = load_dataset("yeast")
+        assert graph.n_vertices == DATASET_PROFILES["yeast"].n_vertices
+
+
+class TestCorruptEntries:
+    @pytest.mark.parametrize(
+        "payload",
+        [b"", b"not a zip at all", b"PK\x03\x04 truncated npz header"],
+        ids=["empty", "garbage", "truncated"],
+    )
+    def test_corrupt_file_is_evicted_and_rebuilt(self, cache_dir, payload):
+        profile = DATASET_PROFILES["yeast"]
+        path = _cache_path(profile)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(payload)
+        graph = load_dataset("yeast")  # must not raise
+        assert graph.n_vertices == profile.n_vertices
+        # The corrupt entry was replaced by a loadable one.
+        assert _cache_load(path, "yeast") is not None
+
+    def test_missing_member_is_treated_as_corrupt(self, cache_dir):
+        profile = DATASET_PROFILES["yeast"]
+        path = _cache_path(profile)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            np.savez(fh, offsets=np.array([0, 0]))  # neighbors/labels absent
+        assert _cache_load(path, "yeast") is None
+        assert not path.is_file()  # evicted
+        assert load_dataset("yeast").n_vertices == profile.n_vertices
+
+    def test_store_is_atomic_no_tmp_left_behind(self, cache_dir):
+        profile = DATASET_PROFILES["yeast"]
+        graph = load_dataset("yeast")
+        _cache_store(_cache_path(profile), graph)
+        leftovers = [p for p in cache_dir.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestCacheDisable:
+    def test_disabled_cache_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_CACHE", "0")
+        monkeypatch.setenv("REPRO_DATASET_CACHE_DIR", str(tmp_path))
+        datasets._load_dataset_cached.cache_clear()
+        try:
+            graph = load_dataset("yeast")
+            assert graph.n_vertices == DATASET_PROFILES["yeast"].n_vertices
+            assert list(tmp_path.iterdir()) == []
+        finally:
+            datasets._load_dataset_cached.cache_clear()
