@@ -17,6 +17,15 @@ against the checked-in baselines in ``benchmarks/baselines.json``:
   deterministic multi-device makespan must show a ≥1.5× modeled speedup,
   and (only on hosts granting ≥4 cores) the measured wall speedup must
   clear the same bar.
+* **tracing gates** — one case runs with ``repro.obs`` tracing on and
+  off: estimate and simulated milliseconds must be bit-identical (the
+  recorder must never perturb an RNG stream), and the *projected*
+  disabled-path overhead — the measured cost of one ``recorder.enabled``
+  guard times the number of events a traced run records — must stay
+  under ``TRACE_OVERHEAD_PCT`` of the untraced wall time.  Projection is
+  used instead of differencing two noisy wall timings because the real
+  disabled cost (a few hundred branch checks per run) is far below
+  runner noise.
 
 Refresh the baselines after an intentional change with::
 
@@ -40,6 +49,7 @@ from repro.core.config import EngineConfig
 from repro.core.engine import GSWORDEngine
 from repro.estimators.alley import AlleyEstimator
 from repro.estimators.wanderjoin import WanderJoinEstimator
+from repro.obs import NO_TRACE, TraceRecorder
 
 BASELINE_PATH = Path(__file__).resolve().parent / "baselines.json"
 SEED = 20240613
@@ -61,6 +71,11 @@ SHARD_TASKS_PER_WARP = 16
 SHARD_WALL_REPEATS = 2
 SHARD_GATE = 4
 SHARD_MIN_SPEEDUP = 1.5
+
+# Tracing gate: max projected disabled-path overhead (% of untraced wall)
+# and the guard-loop length used to measure one `enabled` check.
+TRACE_OVERHEAD_PCT = 2.0
+TRACE_GUARD_CALLS = 200_000
 
 
 def _synthetic_delay() -> None:
@@ -204,6 +219,76 @@ def compare_sharding(cur: dict, base: dict) -> list:
     return failures
 
 
+def measure_tracing() -> dict:
+    """Run one case traced and untraced; project the disabled-path cost.
+
+    Aborts outright if tracing changes the estimate or the simulated
+    milliseconds — observability must not perturb the experiment.
+    """
+    workload = build_workload("yeast", 6, "dense", 0)
+    config = EngineConfig.gsword()
+    best_off = float("inf")
+    base = None
+    for _ in range(WALL_REPEATS):
+        engine = GSWORDEngine(AlleyEstimator(), config)
+        start = time.perf_counter()
+        base = engine.run(workload.cg, workload.order, N_SAMPLES, rng=SEED)
+        _synthetic_delay()
+        best_off = min(best_off, time.perf_counter() - start)
+    recorder = TraceRecorder()
+    traced_engine = GSWORDEngine(AlleyEstimator(), config, recorder=recorder)
+    traced = traced_engine.run(
+        workload.cg, workload.order, N_SAMPLES, rng=SEED
+    )
+    if (
+        traced.estimate != base.estimate
+        or traced.simulated_ms() != base.simulated_ms()
+    ):
+        raise SystemExit(
+            f"tracing: traced run diverged from untraced (estimate "
+            f"{traced.estimate} vs {base.estimate}, simulated "
+            f"{traced.simulated_ms()} vs {base.simulated_ms()}) — "
+            "tracing must be bit-identical"
+        )
+    # Disabled-path cost: every instrumentation site is one attribute
+    # load + branch on the NO_TRACE singleton.  Time that guard directly
+    # and project it over the number of events a traced run records
+    # (every event implies at most a handful of guard hits).
+    recorder_off = NO_TRACE
+    hits = 0
+    start = time.perf_counter()
+    for _ in range(TRACE_GUARD_CALLS):
+        if recorder_off.enabled:
+            hits += 1
+    guard_s = time.perf_counter() - start
+    assert hits == 0
+    per_guard_ms = guard_s * 1000.0 / TRACE_GUARD_CALLS
+    projected_ms = per_guard_ms * max(1, recorder.n_events) * 4
+    wall_off_ms = best_off * 1000.0
+    return {
+        "n_events": recorder.n_events,
+        "wall_ms_off": wall_off_ms,
+        "guard_ns": per_guard_ms * 1e6,
+        "projected_overhead_ms": projected_ms,
+        "projected_overhead_pct": (
+            projected_ms / wall_off_ms * 100.0 if wall_off_ms > 0 else 0.0
+        ),
+    }
+
+
+def compare_tracing(cur: dict) -> list:
+    """Self-relative gate — no baseline entry needed."""
+    if cur["projected_overhead_pct"] >= TRACE_OVERHEAD_PCT:
+        return [
+            f"tracing: projected disabled-path overhead "
+            f"{cur['projected_overhead_pct']:.3f}% of untraced wall "
+            f"({cur['projected_overhead_ms']:.4f}ms over "
+            f"{cur['wall_ms_off']:.1f}ms) exceeds gate "
+            f"{TRACE_OVERHEAD_PCT:.1f}%"
+        ]
+    return []
+
+
 def compare(current: dict, baseline: dict, wall_tolerance: float,
             min_speedup: float) -> list:
     failures = []
@@ -276,6 +361,13 @@ def main(argv=None) -> int:
         f"multidev={sharding['multidev_ms']:.3f}ms "
         f"modeled={sharding['modeled_speedup']:.2f}x {measured_note}"
     )
+    tracing = measure_tracing()
+    print(
+        f"{'tracing':<20} events={tracing['n_events']:<4} "
+        f"guard={tracing['guard_ns']:.0f}ns "
+        f"projected_overhead={tracing['projected_overhead_pct']:.4f}% "
+        f"(gate <{TRACE_OVERHEAD_PCT:.0f}%)"
+    )
 
     if args.update_baselines:
         BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
@@ -290,6 +382,7 @@ def main(argv=None) -> int:
         current, baseline, args.wall_tolerance, args.min_speedup
     )
     failures += compare_sharding(sharding, baseline.get("sharding", {}))
+    failures += compare_tracing(tracing)
     if failures:
         print("\nPERF SMOKE FAILED:")
         for failure in failures:

@@ -13,7 +13,10 @@ Two subcommands make the system runnable without writing scripts:
   the same service under seeded device-fault storms (corruption, stalls,
   OOM, lane desync), verifying that retries, the watchdog, the circuit
   breaker, and the CPU fallback keep every request answered with bounded
-  accuracy loss.
+  accuracy loss;
+* ``repro trace-report`` — per-span time breakdown of a Chrome-trace JSON
+  produced by ``repro estimate --trace-out`` (the same file loads in
+  Perfetto / ``chrome://tracing``).
 
 Run ``python -m repro <cmd> --help`` (or ``repro <cmd> --help`` once
 installed) for options.
@@ -22,6 +25,7 @@ installed) for options.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -34,6 +38,11 @@ from repro.bench.serving import (
 )
 from repro.errors import ReproError
 from repro.graph.datasets import DATASET_ORDER, load_dataset
+from repro.obs import (
+    load_trace,
+    registry_from_service_snapshot,
+    render_report,
+)
 from repro.query.extract import extract_query
 from repro.serve.request import EstimateRequest
 from repro.serve.service import EstimationService, ServiceConfig
@@ -77,6 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="partition every round across N worker processes "
              "(bit-identical estimates; default: REPRO_SHARDS or 1)",
     )
+    est.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record spans and write a Chrome-trace JSON (open in "
+             "Perfetto or chrome://tracing; see also 'repro trace-report')",
+    )
 
     bench = sub.add_parser(
         "serve-bench", help="serving throughput benchmark (batching + cache)"
@@ -109,6 +123,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-save", action="store_true", help="do not write results/ JSON"
     )
+    bench.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write every configuration's unified metrics registry "
+             "(JSON snapshot per config) to PATH",
+    )
 
     chaos = sub.add_parser(
         "chaos-bench",
@@ -137,6 +156,14 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--no-save", action="store_true", help="do not write results/ JSON"
     )
+
+    report = sub.add_parser(
+        "trace-report",
+        help="per-span time breakdown of a recorded Chrome-trace JSON",
+    )
+    report.add_argument(
+        "trace", help="trace file written by 'repro estimate --trace-out'"
+    )
     return parser
 
 
@@ -146,7 +173,9 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         graph, args.k, rng=args.seed, query_type=args.query_type,
         name=f"{args.dataset}-q{args.k}-{args.query_type}-{args.seed}",
     )
-    config = ServiceConfig(n_shards=args.shards)
+    config = ServiceConfig(
+        n_shards=args.shards, trace=args.trace_out is not None
+    )
     service = EstimationService(config)
     try:
         response = service.estimate(
@@ -159,6 +188,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 estimator=args.estimator,
             )
         )
+        stall = service.metrics_snapshot()["stall"]
     finally:
         service.close()
     print(f"dataset:    {args.dataset}  ({graph.n_vertices} vertices)")
@@ -173,8 +203,17 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
           f"(build {response.build_ms:.3f}, service {response.service_ms:.3f})")
     if service.n_shards > 1:
         print(f"shards:     {service.n_shards} worker processes")
+    # The Figure-5 nsight analog: where the kernel's cycles stalled.
+    print(f"stall:      StallLong {stall['stall_long_per_iter']:.1f} cyc/iter, "
+          f"StallWait {stall['stall_wait_per_iter']:.1f} cyc/iter, "
+          f"warp efficiency {stall['warp_efficiency']:.1%}")
     print(f"stopped:    {response.stop_reason}"
           + ("  [DEGRADED: best-effort estimate]" if response.degraded else ""))
+    if args.trace_out is not None:
+        service.recorder.write(args.trace_out)
+        print(f"trace:      {service.recorder.n_events} events written to "
+              f"{args.trace_out} (open in Perfetto, or run "
+              f"'repro trace-report {args.trace_out}')")
     return 0
 
 
@@ -210,6 +249,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             record = run_serving_benchmark(
                 clients=n_clients, n_requests=args.requests, pool=pool,
                 shards=args.shards or 1,
+                collect_metrics=args.metrics_out is not None,
                 **kwargs,
             )
             record["config"] = label
@@ -228,6 +268,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         title=f"Serving throughput ({args.requests} requests, "
               f"{args.distinct} distinct queries)",
     ))
+    if args.metrics_out is not None:
+        # One unified-registry snapshot per configuration, keyed by
+        # "<clients>x<config>"; the raw snapshots are dropped from the
+        # records afterwards so results/ JSON stays flat.
+        registries = {}
+        for record in records:
+            snap = record.pop("metrics_snapshot")
+            key = f"{record['clients']}x{record['config']}"
+            registries[key] = registry_from_service_snapshot(snap).snapshot()
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(registries, fh, indent=2)
+            fh.write("\n")
+        print(f"\nmetrics registry written to {args.metrics_out}")
     if not args.no_save:
         path = save_results("serving_throughput", {
             "requests": args.requests,
@@ -297,6 +350,12 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
     return 0 if acceptance.get("passed") else 1
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    payload = load_trace(args.trace)
+    print(render_report(payload))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -306,6 +365,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve_bench(args)
         if args.command == "chaos-bench":
             return _cmd_chaos_bench(args)
+        if args.command == "trace-report":
+            return _cmd_trace_report(args)
     except ReproError as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2

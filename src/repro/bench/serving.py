@@ -99,6 +99,7 @@ def run_serving_benchmark(
     pool: Optional[Sequence[EstimateRequest]] = None,
     policy: Optional[BudgetPolicy] = None,
     shards: int = 1,
+    collect_metrics: bool = False,
 ) -> Dict[str, object]:
     """Drive one serving configuration; returns a flat result record.
 
@@ -108,6 +109,8 @@ def run_serving_benchmark(
     the scheduler to one request per device batch — the no-batching
     baseline.  ``shards`` partitions every round across that many worker
     processes (bit-identical estimates; the admission cap scales with it).
+    ``collect_metrics`` attaches the full service metrics snapshot under
+    ``"metrics_snapshot"`` (the ``repro serve-bench --metrics-out`` feed).
     """
     if pool is None:
         pool = build_request_pool(distinct=distinct)
@@ -127,7 +130,7 @@ def run_serving_benchmark(
         service.close()
     latency = snap["latency_ms"]
     total_ms = snap["clock_ms"]
-    return {
+    record: Dict[str, object] = {
         "clients": clients,
         "n_requests": n_requests,
         "cache": cache,
@@ -147,4 +150,11 @@ def run_serving_benchmark(
         "cache_hit_rate": snap["cache"].get("hit_rate", 0.0),
         "busy_ms": snap["busy_ms"],
         "total_samples": snap["total_samples"],
+        # Figure-5 kernel stall counters, folded over every device round
+        # this configuration ran.
+        "stall": snap["stall"],
+        "multidev_ms": snap["multidev_ms"],
     }
+    if collect_metrics:
+        record["metrics_snapshot"] = snap
+    return record

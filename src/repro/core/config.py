@@ -57,6 +57,16 @@ def default_shards() -> int:
         raise ConfigError(f"REPRO_SHARDS must be an integer, got {raw!r}")
 
 
+def default_trace() -> bool:
+    """Session default for :attr:`EngineConfig.trace`.
+
+    ``False`` (tracing off — the zero-cost path) unless the ``REPRO_TRACE``
+    environment variable is a truthy value (``1``/``true``/``yes``/``on``).
+    """
+    raw = os.environ.get("REPRO_TRACE", "").strip().lower()
+    return raw in ("1", "true", "yes", "on")
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Configuration of one :class:`~repro.core.engine.GSWORDEngine` run.
@@ -86,6 +96,12 @@ class EngineConfig:
             each warp owns its RNG substream, estimates are bit-identical
             for any shard count; only wall-clock and the multi-device
             makespan telemetry change.  Requires the vectorized backend.
+        trace: enable span tracing (:mod:`repro.obs`).  ``False`` by
+            default (overridable via ``REPRO_TRACE``): the engine then
+            holds the shared no-op recorder and instrumentation costs one
+            attribute check per event site.  Tracing never touches RNG
+            streams, so estimates and simulated-ms are bit-identical with
+            it on or off — the perf-smoke gate enforces both properties.
     """
 
     sync_mode: SyncMode = SyncMode.SAMPLE
@@ -96,6 +112,7 @@ class EngineConfig:
     streaming_threshold: int = 32
     backend: str = field(default_factory=default_backend)
     n_shards: int = field(default_factory=default_shards)
+    trace: bool = field(default_factory=default_trace)
 
     def __post_init__(self) -> None:
         if not isinstance(self.sync_mode, SyncMode):
@@ -166,3 +183,6 @@ class EngineConfig:
 
     def with_shards(self, n_shards: int) -> "EngineConfig":
         return replace(self, n_shards=n_shards)
+
+    def with_trace(self, trace: bool = True) -> "EngineConfig":
+        return replace(self, trace=trace)

@@ -47,14 +47,13 @@ from repro.estimators.ht import HTAccumulator
 from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
 from repro.gpu.device import DeviceModel
 from repro.gpu.memory import (
-    ARRAY_EDGE_CANDIDATES,
     ARRAY_GLOBAL_CANDIDATES,
     ARRAY_LOCAL_CANDIDATES,
     WarpMemoryTracker,
-    dependent_chain_cost,
     warp_instruction_cost,
 )
 from repro.gpu.profiler import KernelProfile, WarpProfile
+from repro.obs.trace import NO_TRACE, TraceRecorder
 from repro.query.matching_order import MatchingOrder
 from repro.utils.rng import RandomSource, as_generator, spawn_generators
 
@@ -67,6 +66,8 @@ _VALIDATE_OPS = 6
 #: over a sorted candidate slice (Fig. 19's ``find(v, lc)``), i.e. several
 #: serially-dependent loads, not one.
 _PROBE_LOADS = 2
+#: Cap on sampled per-warp spans recorded per engine run (tracing).
+_MAX_WARP_SPANS = 64
 
 
 @dataclass
@@ -167,12 +168,16 @@ class GSWORDEngine:
         spec: GPUSpec = DEFAULT_GPU,
         device: Optional["DeviceModel"] = None,
         injector: Optional[object] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         """``device`` carries the optional memory budget / watchdog guard
         rails (defaults to a plain :class:`DeviceModel` over ``spec``);
         ``injector`` is a :class:`~repro.faults.injector.FaultInjector`
         consulted at every session-round launch (``None`` = healthy
-        device)."""
+        device); ``recorder`` is a shared
+        :class:`~repro.obs.trace.TraceRecorder` (``None`` = the engine
+        owns one when ``config.trace`` asks for tracing, else the no-op
+        singleton)."""
         self.estimator = estimator
         self.config = config
         if device is not None and device.spec != spec:
@@ -180,6 +185,10 @@ class GSWORDEngine:
         self.spec = spec
         self.device = device if device is not None else DeviceModel(spec)
         self.injector = injector
+        if recorder is not None:
+            self.recorder = recorder
+        else:
+            self.recorder = TraceRecorder() if config.trace else NO_TRACE
         # Cross-round caches (vectorized backend): last-built vector kernel,
         # reusable lane-state scratch, and the lazily started shard pool.
         self._kernel_cache: Optional[tuple] = None
@@ -253,33 +262,79 @@ class GSWORDEngine:
         if n_shards > 1:
             shard_profiles = [KernelProfile() for _ in range(n_shards)]
             shard_longest = [0.0] * n_shards
-        while remaining > 0 and n_warps < max_warps:
-            quota = min(tasks_per_warp, remaining)
-            if provider is not None:
-                warp = provider.warp(n_warps, quota)
-            else:
-                warp = self._run_warp(
-                    cg, order, quota, warp_rngs[n_warps], collect_states
+        rec = self.recorder
+        launch_span = None
+        warp_spans = 0
+        if rec.enabled:
+            launch_span = rec.begin(
+                "kernel.launch",
+                track="engine",
+                args={
+                    "backend": "scalar" if provider is None else "vectorized",
+                    "n_shards": n_shards,
+                },
+            )
+        try:
+            while remaining > 0 and n_warps < max_warps:
+                quota = min(tasks_per_warp, remaining)
+                if provider is not None:
+                    warp = provider.warp(n_warps, quota)
+                else:
+                    warp = self._run_warp(
+                        cg, order, quota, warp_rngs[n_warps], collect_states
+                    )
+                warp_acc, warp_profile, warp_valid, warp_collect, warp_count = warp
+                acc.merge(warp_acc)
+                kernel.add_warp(warp_profile, samples=warp_count, valid=warp_valid)
+                longest = max(longest, warp_profile.cycles)
+                if n_shards > 1:
+                    s = provider.shard_of(n_warps)
+                    shard_profiles[s].add_warp(
+                        warp_profile, samples=warp_count, valid=warp_valid
+                    )
+                    shard_longest[s] = max(shard_longest[s], warp_profile.cycles)
+                if (
+                    launch_span is not None
+                    and n_warps % rec.warp_sample_every == 0
+                    and warp_spans < _MAX_WARP_SPANS
+                ):
+                    # Sampled warp spans: serialized on their own track
+                    # starting at the launch (full per-warp tracing would
+                    # dwarf the kernel spans it illustrates).
+                    t0 = max(launch_span.sim_t0_ms, rec.sim_now("warps"))
+                    rec.add_span(
+                        "warp",
+                        track="warps",
+                        sim_t0_ms=t0,
+                        sim_dur_ms=self.spec.cycles_to_ms(warp_profile.cycles),
+                        args={
+                            "warp": n_warps,
+                            "samples": warp_count,
+                            "valid": warp_valid,
+                            "shard": (
+                                provider.shard_of(n_warps)
+                                if n_shards > 1 else 0
+                            ),
+                        },
+                    )
+                    warp_spans += 1
+                collected.extend(warp_collect)
+                total_collected += warp_count
+                remaining -= warp_count
+                n_warps += 1
+        except BaseException as error:
+            if launch_span is not None:
+                rec.end(
+                    launch_span,
+                    sim_dur_ms=self.spec.launch_overhead_ms,
+                    args={"status": "failed", "error": type(error).__name__},
                 )
-            warp_acc, warp_profile, warp_valid, warp_collect, warp_count = warp
-            acc.merge(warp_acc)
-            kernel.add_warp(warp_profile, samples=warp_count, valid=warp_valid)
-            longest = max(longest, warp_profile.cycles)
-            if n_shards > 1:
-                s = provider.shard_of(n_warps)
-                shard_profiles[s].add_warp(
-                    warp_profile, samples=warp_count, valid=warp_valid
-                )
-                shard_longest[s] = max(shard_longest[s], warp_profile.cycles)
-            collected.extend(warp_collect)
-            total_collected += warp_count
-            remaining -= warp_count
-            n_warps += 1
+            raise
         shard_ms = [
             self.device.kernel_ms(p, l)
             for p, l in zip(shard_profiles, shard_longest)
         ]
-        return GPURunResult(
+        result = GPURunResult(
             estimate=acc.estimate,
             n_samples=total_collected,
             n_root_samples=acc.n,
@@ -295,6 +350,56 @@ class GSWORDEngine:
             n_shards=n_shards,
             shard_ms=shard_ms,
         )
+        if launch_span is not None:
+            self._trace_launch(launch_span, result)
+        return result
+
+    def _trace_launch(self, launch_span, result: GPURunResult) -> None:
+        """Close a run's ``kernel.launch`` span and draw the per-shard /
+        interconnect geometry of a multi-device round.
+
+        The span's simulated duration is exactly
+        :meth:`GPURunResult.simulated_ms`, so summing the ``kernel.launch``
+        spans of a trace reconciles with the engine's reported device time;
+        the shard tracks reproduce :meth:`GPURunResult.multidev_ms` as the
+        envelope of their intervals.
+        """
+        rec = self.recorder
+        sim_ms = result.simulated_ms()
+        args = {
+            "simulated_ms": sim_ms,
+            "n_warps": result.n_warps,
+            "n_samples": result.n_samples,
+            "n_valid": result.n_valid,
+            "stall": result.profile.stall_summary(),
+            "cycles": result.profile.cycle_breakdown(),
+            "status": "ok",
+        }
+        if result.n_shards > 1 and result.shard_ms:
+            from repro.multidev.timing import shard_timeline
+
+            args["multidev_ms"] = result.multidev_ms()
+            args["shard_ms"] = list(result.shard_ms)
+            k0 = launch_span.sim_t0_ms
+            shards, (reduce_t0, reduce_ms) = shard_timeline(
+                result.shard_ms, result.n_shards
+            )
+            for shard, offset, dur in shards:
+                rec.add_span(
+                    "shard.kernel",
+                    track=f"shard-{shard}",
+                    sim_t0_ms=k0 + offset,
+                    sim_dur_ms=dur,
+                    args={"shard": shard, "shard_ms": dur},
+                )
+            rec.add_span(
+                "multidev.allreduce",
+                track="interconnect",
+                sim_t0_ms=k0 + reduce_t0,
+                sim_dur_ms=reduce_ms,
+                args={"n_shards": result.n_shards},
+            )
+        rec.end(launch_span, sim_dur_ms=sim_ms, args=args)
 
     def _vector_provider(
         self,
@@ -797,8 +902,28 @@ class EngineSession:
         injected or organic device failure raises before the commit, so the
         session state is untouched by failed rounds.
         """
-        round_result = self._attempt_round(n_samples, collect_states)
+        rec = self.engine.recorder
+        round_span = (
+            rec.begin(
+                "engine.round", track="engine",
+                args={"round": self._rounds, "n_samples": n_samples},
+            )
+            if rec.enabled
+            else None
+        )
+        try:
+            round_result = self._attempt_round(n_samples, collect_states)
+        except BaseException as error:
+            if round_span is not None:
+                self._trace_abort(error)
+                rec.end(
+                    round_span,
+                    args={"status": "failed", "error": type(error).__name__},
+                )
+            raise
         self._commit_round(round_result)
+        if round_span is not None:
+            rec.end(round_span, args={"status": "ok"})
         return round_result
 
     def run_round_resilient(
@@ -819,6 +944,15 @@ class EngineSession:
         self.last_attempt_errors = report_errors
         fault_ms = 0.0
         attempt = 0
+        rec = self.engine.recorder
+        round_span = (
+            rec.begin(
+                "engine.round", track="engine",
+                args={"round": self._rounds, "n_samples": n_samples},
+            )
+            if rec.enabled
+            else None
+        )
         while True:
             try:
                 round_result = self._attempt_round(n_samples, collect_states)
@@ -826,6 +960,8 @@ class EngineSession:
                 self.n_faults += 1
                 report_errors.append(error)
                 fault_ms += self.abort_charge_ms(error)
+                if round_span is not None:
+                    self._trace_abort(error)
                 # Non-retryable faults (a shard worker is gone until the
                 # pool heals) surface immediately: relaunching the same
                 # round cannot succeed, so retries would only burn budget.
@@ -833,13 +969,48 @@ class EngineSession:
                     error, "retryable", True
                 ):
                     self.fault_ms += fault_ms
+                    if round_span is not None:
+                        rec.end(
+                            round_span,
+                            args={
+                                "status": "failed",
+                                "error": type(error).__name__,
+                                "n_faults": len(report_errors),
+                                "n_retries": attempt,
+                            },
+                        )
                     raise
-                fault_ms += retry.backoff_for(attempt)
+                backoff = retry.backoff_for(attempt)
+                fault_ms += backoff
+                if round_span is not None:
+                    rec.advance("engine", backoff)
+                    rec.instant(
+                        "retry", track="engine",
+                        args={"attempt": attempt + 1, "backoff_ms": backoff},
+                    )
                 self.n_retries += 1
                 attempt += 1
                 continue
+            except BaseException as error:
+                if round_span is not None:
+                    rec.end(
+                        round_span,
+                        args={"status": "failed",
+                              "error": type(error).__name__},
+                    )
+                raise
             self._commit_round(round_result)
             self.fault_ms += fault_ms
+            if round_span is not None:
+                rec.end(
+                    round_span,
+                    args={
+                        "status": "ok",
+                        "n_faults": len(report_errors),
+                        "n_retries": attempt,
+                        "fault_ms": fault_ms,
+                    },
+                )
             return RoundAttemptReport(
                 result=round_result,
                 n_faults=len(report_errors),
@@ -899,8 +1070,22 @@ class EngineSession:
             # The hang model: the launch burns stall_factor× its cycle
             # budget.  Scaling the profile keeps the overrun visible to
             # every downstream consumer of the round's timing.
+            rec = engine.recorder
+            pre_ms = round_result.simulated_ms() if rec.enabled else 0.0
             round_result.profile.scale_cycles(faults.stall_factor)
             round_result.longest_warp_cycles *= faults.stall_factor
+            if rec.enabled:
+                # The kernel span closed at its pre-stall duration; charge
+                # the overrun to the track so the round span covers it.
+                overrun = round_result.simulated_ms() - pre_ms
+                rec.advance("engine", max(0.0, overrun))
+                rec.instant(
+                    "fault.stall", track="engine",
+                    args={
+                        "stall_factor": faults.stall_factor,
+                        "overrun_ms": overrun,
+                    },
+                )
         device.check_watchdog(round_result.simulated_ms())
         return round_result
 
@@ -913,6 +1098,23 @@ class EngineSession:
         self._n_samples += round_result.n_samples
         self._collected.extend(round_result.collected)
         self._rounds += 1
+
+    def _trace_abort(self, error: BaseException) -> None:
+        """Draw a failed attempt on the timeline: a ``kernel.abort`` span
+        covering the simulated time the failure occupied the device, plus a
+        ``fault`` instant carrying the typed fault annotation."""
+        rec = self.engine.recorder
+        from repro.faults.injector import fault_event_args
+
+        args = fault_event_args(error)
+        rec.instant("fault", track="engine", args=args)
+        rec.add_span(
+            "kernel.abort",
+            track="engine",
+            sim_t0_ms=rec.sim_now("engine"),
+            sim_dur_ms=self.abort_charge_ms(error),
+            args=args,
+        )
 
     def abort_charge_ms(self, error: BaseException) -> float:
         """Simulated device time a failed attempt occupied.

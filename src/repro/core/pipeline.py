@@ -196,6 +196,8 @@ class CoProcessingPipeline:
             gpu_rng, cpu_rng = batch_rngs[2 * b], batch_rngs[2 * b + 1]
 
             # GPU side: complete samples for the running estimate.
+            rec = self.engine.recorder
+            batch_t0 = rec.sim_now("engine") if rec.enabled else 0.0
             gpu_result = self.engine.run(cg, order, batch_samples, rng=gpu_rng)
             sampling_acc.merge(gpu_result.accumulator)
             n_collected += gpu_result.n_samples
@@ -205,6 +207,28 @@ class CoProcessingPipeline:
             report = self._run_cpu_side(
                 cg, order, cpu_rng, gpu_ms, trawl_acc
             )
+            if rec.enabled:
+                # The overlap picture (Figure 9): GPU and CPU sides of one
+                # batch share a start; the CPU bar is clipped to the GPU
+                # window (the paper's cut-off rule — enumeration past the
+                # window is discarded), with the uncut time in args.
+                rec.add_span(
+                    "pipeline.gpu", track="pipeline-gpu",
+                    sim_t0_ms=batch_t0, sim_dur_ms=gpu_ms,
+                    args={"batch": b, "n_samples": batch_samples},
+                )
+                rec.add_span(
+                    "pipeline.cpu", track="pipeline-cpu",
+                    sim_t0_ms=batch_t0,
+                    sim_dur_ms=min(report.cpu_ms, gpu_ms),
+                    args={
+                        "batch": b,
+                        "cpu_ms": report.cpu_ms,
+                        "n_trawls": report.n_trawls,
+                        "n_completed": report.n_trawls_completed,
+                        "n_truncated": report.n_trawls_truncated,
+                    },
+                )
             n_enumerated += report.n_trawls_completed
             n_truncated += report.n_trawls_truncated
             partial_extensions += report.partial_extensions

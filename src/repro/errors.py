@@ -112,6 +112,13 @@ class ShardFailure(DeviceFault):
         self.shard = shard
 
 
+class ObservabilityError(ReproError):
+    """Raised for tracing/metrics misuse — spans ended out of order,
+    exporting with open spans, malformed trace payloads, or conflicting
+    metric registrations.  Observability must never perturb the experiment,
+    so these only fire on API misuse, never on data-dependent paths."""
+
+
 class ServiceError(ReproError):
     """Raised for estimation-service misuse (bad request, stopped service)."""
 

@@ -39,6 +39,26 @@ def fault_kind(error: BaseException) -> str:
     return "fault"
 
 
+def fault_event_args(error: BaseException) -> Dict[str, object]:
+    """Span-annotation payload for a device failure (trace ``args``).
+
+    Carries the metrics ``kind``, retryability, the error class, and the
+    fault-specific numbers worth seeing on a timeline (watchdog ceiling,
+    OOM request size, dead shard index).
+    """
+    args: Dict[str, object] = {
+        "kind": fault_kind(error),
+        "retryable": bool(getattr(error, "retryable", True)),
+        "error": type(error).__name__,
+    }
+    for attr in ("kernel_ms", "watchdog_ms", "requested_bytes",
+                 "budget_bytes", "shard"):
+        value = getattr(error, attr, None)
+        if value is not None:
+            args[attr] = value
+    return args
+
+
 class FaultInjector:
     """Thread-safe launch-indexed fault source for the simulated device."""
 

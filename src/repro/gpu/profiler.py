@@ -152,3 +152,14 @@ class KernelProfile:
             "stall_wait_per_iter": self.warp.stall_wait / iters,
             "warp_efficiency": self.warp.warp_efficiency,
         }
+
+    def cycle_breakdown(self) -> Dict[str, float]:
+        """Where the kernel's cycles went, by category — the span-args /
+        metrics-registry view of the raw counters (all units cycles)."""
+        return {
+            "compute": self.warp.compute_cycles,
+            "memory": self.warp.mem_cycles,
+            "sync": self.warp.sync_cycles,
+            "stall_long": self.warp.stall_long,
+            "stall_wait": self.warp.stall_wait,
+        }

@@ -14,7 +14,7 @@ pretending aggregation is free.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 #: Per-hop link latency of the modeled interconnect, in milliseconds
 #: (~5 µs — NVLink-class peer-to-peer latency).
@@ -44,3 +44,22 @@ def multidev_makespan_ms(shard_ms: Sequence[float], n_shards: int) -> float:
     if not shard_ms:
         return allreduce_ms(n_shards)
     return max(shard_ms) + allreduce_ms(n_shards)
+
+
+def shard_timeline(
+    shard_ms: Sequence[float], n_shards: int
+) -> Tuple[List[Tuple[int, float, float]], Tuple[float, float]]:
+    """Span geometry of one sharded round, relative to its launch.
+
+    Returns ``(shards, allreduce)`` where ``shards`` is a list of
+    ``(shard_index, offset_ms, duration_ms)`` — every shard starts at
+    offset 0 (they launch together) and runs for its own kernel time — and
+    ``allreduce`` is the ``(offset_ms, duration_ms)`` of the combine hop
+    that starts when the slowest shard finishes.  This is exactly the
+    picture :class:`~repro.obs.trace.TraceRecorder` draws on the per-shard
+    tracks: the envelope of the returned intervals is
+    :func:`multidev_makespan_ms`.
+    """
+    shards = [(i, 0.0, float(ms)) for i, ms in enumerate(shard_ms)]
+    start = max(shard_ms) if shard_ms else 0.0
+    return shards, (start, allreduce_ms(n_shards))

@@ -1,0 +1,60 @@
+"""repro.obs — end-to-end tracing and the unified metrics registry.
+
+Two halves, both importable from here:
+
+* :mod:`repro.obs.trace` — :class:`TraceRecorder` hierarchical two-clock
+  spans (simulated device ms primary, wall time in args) with Chrome
+  Trace Event JSON export, plus the :data:`NO_TRACE` zero-cost disabled
+  singleton every un-traced component points at.
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry`
+  counters/gauges/histograms with label sets, JSON snapshot and
+  Prometheus text exposition, and bridges from the existing telemetry
+  shapes (`ServiceMetrics` snapshots, `KernelProfile` stall summaries,
+  fault tallies, `multidev_ms`).
+
+This package sits *below* ``core``/``serve`` in the import graph: it
+imports only the standard library and :mod:`repro.errors`, so every other
+layer can instrument itself without cycles.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Reservoir,
+    add_stall_summary,
+    registry_from_run,
+    registry_from_service_snapshot,
+)
+from repro.obs.report import (
+    count_instants,
+    load_trace,
+    render_report,
+    span_breakdown,
+)
+from repro.obs.trace import (
+    NO_TRACE,
+    SpanHandle,
+    TraceRecorder,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Reservoir",
+    "add_stall_summary",
+    "registry_from_run",
+    "registry_from_service_snapshot",
+    "count_instants",
+    "load_trace",
+    "render_report",
+    "span_breakdown",
+    "NO_TRACE",
+    "SpanHandle",
+    "TraceRecorder",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,113 @@
+"""Trace analysis for the ``repro trace-report`` CLI.
+
+Reads a Chrome-trace JSON file produced by
+:meth:`~repro.obs.trace.TraceRecorder.write`, validates it, and renders a
+per-span-name breakdown table: count, total/mean simulated ms, total wall
+ms, and each name's share of its track's busy time.  The table answers
+"where did the simulated milliseconds go?" without leaving the terminal;
+the same file loads in Perfetto when the visual timeline is needed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import ObservabilityError
+from repro.obs.trace import MICROS_PER_MS, validate_chrome_trace
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Load + validate a Chrome-trace JSON file; returns the payload."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ObservabilityError(f"cannot read trace {path!r}: {exc}") from exc
+    validate_chrome_trace(payload)
+    return payload
+
+
+def _track_names(payload: Dict[str, Any]) -> Dict[int, str]:
+    names: Dict[int, str] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[event["tid"]] = event.get("args", {}).get(
+                "name", str(event["tid"])
+            )
+    return names
+
+
+def span_breakdown(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Aggregate complete spans by (track, name).
+
+    Returns rows sorted by total simulated ms, descending.  ``share`` is
+    the name's fraction of its track's total span time — note children are
+    counted inside their parents (a kernel launch's ms also live in its
+    engine round), so shares express "of the time this track was inside
+    *some* span, how much was inside this one".
+    """
+    spans = validate_chrome_trace(payload)
+    tracks = _track_names(payload)
+    rows: Dict[tuple, Dict[str, Any]] = {}
+    track_totals: Dict[int, float] = {}
+    for span in spans:
+        tid = span["tid"]
+        sim_ms = span["dur"] / MICROS_PER_MS
+        wall_ms = span.get("args", {}).get("wall_dur_ms", 0.0)
+        key = (tid, span["name"])
+        row = rows.setdefault(
+            key,
+            {
+                "track": tracks.get(tid, str(tid)),
+                "name": span["name"],
+                "count": 0,
+                "sim_ms": 0.0,
+                "wall_ms": 0.0,
+            },
+        )
+        row["count"] += 1
+        row["sim_ms"] += sim_ms
+        row["wall_ms"] += wall_ms
+        track_totals[tid] = track_totals.get(tid, 0.0) + sim_ms
+    out = []
+    for (tid, _), row in rows.items():
+        total = track_totals.get(tid, 0.0)
+        row["mean_sim_ms"] = row["sim_ms"] / row["count"]
+        row["share"] = row["sim_ms"] / total if total > 0 else 0.0
+        out.append(row)
+    out.sort(key=lambda r: (-r["sim_ms"], r["track"], r["name"]))
+    return out
+
+
+def count_instants(payload: Dict[str, Any]) -> Dict[str, int]:
+    """Tally instant annotations (faults, retries, breaker events) by name."""
+    counts: Dict[str, int] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") in ("i", "I"):
+            name = event.get("name", "?")
+            counts[name] = counts.get(name, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_report(payload: Dict[str, Any]) -> str:
+    """The ``repro trace-report`` table as one printable string."""
+    rows = span_breakdown(payload)
+    header = (
+        f"{'track':<14} {'span':<22} {'count':>6} {'sim ms':>10} "
+        f"{'mean ms':>9} {'wall ms':>9} {'share':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['track']:<14} {row['name']:<22} {row['count']:>6} "
+            f"{row['sim_ms']:>10.3f} {row['mean_sim_ms']:>9.3f} "
+            f"{row['wall_ms']:>9.2f} {row['share']:>5.0%}"
+        )
+    instants = count_instants(payload)
+    if instants:
+        lines.append("")
+        lines.append("annotations: " + ", ".join(
+            f"{name}={count}" for name, count in instants.items()
+        ))
+    return "\n".join(lines)

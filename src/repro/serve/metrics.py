@@ -8,13 +8,17 @@ straight to JSON — no metric objects leak out of the serving layer.
 Latencies are simulated device milliseconds (the serving layer's single
 clock); percentiles use linear interpolation over the recorded values,
 which at serving cardinalities (10²–10⁴ requests) is exact enough that
-bucketing would only lose information.
+bucketing would only lose information.  Recorded values live in a
+bounded deterministic reservoir (see :class:`LatencyHistogram`) so
+long-running services do not accumulate one float per request forever.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.obs.registry import Reservoir
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -39,25 +43,52 @@ def percentile(values: List[float], q: float) -> float:
 
 @dataclass
 class LatencyHistogram:
-    """Streaming latency record with percentile snapshots."""
+    """Streaming latency record with percentile snapshots.
 
-    samples: List[float] = field(default_factory=list)
+    Memory is bounded: values are kept in a deterministic seeded
+    reservoir (:class:`repro.obs.Reservoir`, Vitter's Algorithm R with a
+    private RNG) of ``max_samples`` entries, so sustained serving load
+    cannot grow the histogram without limit.  ``count``/``mean``/``max``
+    are tracked exactly outside the reservoir and are unaffected by the
+    cap; percentiles are exact up to ``max_samples`` recorded values and
+    become uniform-subsample *estimates* past it — at the default 4096
+    capacity the p50/p95/p99 error is well under the run-to-run latency
+    noise of the serving benchmark.
+    """
+
+    max_samples: int = 4096
+    reservoir: Reservoir = field(init=False)
+    count: int = field(init=False, default=0)
+    total: float = field(init=False, default=0.0)
+    max_value: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self.reservoir = Reservoir(max_samples=self.max_samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """The retained (possibly subsampled) values, insertion-ordered."""
+        return self.reservoir.values()
 
     def add(self, latency_ms: float) -> None:
-        self.samples.append(float(latency_ms))
+        value = float(latency_ms)
+        self.count += 1
+        self.total += value
+        self.max_value = max(self.max_value, value)
+        self.reservoir.add(value)
 
     def snapshot(self) -> Dict[str, float]:
-        n = len(self.samples)
-        if n == 0:
+        if self.count == 0:
             return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
                     "p99": 0.0, "max": 0.0}
+        retained = self.reservoir.values()
         return {
-            "count": n,
-            "mean": sum(self.samples) / n,
-            "p50": percentile(self.samples, 50),
-            "p95": percentile(self.samples, 95),
-            "p99": percentile(self.samples, 99),
-            "max": max(self.samples),
+            "count": self.count,
+            "mean": self.total / self.count,
+            "p50": percentile(retained, 50),
+            "p95": percentile(retained, 95),
+            "p99": percentile(retained, 99),
+            "max": self.max_value,
         }
 
 

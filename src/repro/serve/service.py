@@ -43,6 +43,9 @@ from repro.estimators.ht import HTAccumulator
 from repro.faults import FaultInjector, FaultPlan, maybe_injector
 from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
 from repro.gpu.device import DeviceModel
+from repro.gpu.profiler import KernelProfile
+from repro.obs.registry import MetricsRegistry, registry_from_service_snapshot
+from repro.obs.trace import NO_TRACE, TraceRecorder
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker
 from repro.serve.cache import PlanCache, build_plan
 from repro.serve.controller import AdaptiveBudgetController, BudgetPolicy
@@ -88,6 +91,10 @@ class ServiceConfig:
             across (``None`` = whatever ``engine_config`` says).  Values
             > 1 also scale the scheduler's warp-admission cap, so batches
             fill all shards' resident-warp slots.
+        trace: record spans (:mod:`repro.obs`) for every batch, round, and
+            kernel launch on one service-owned recorder shared by all
+            engines.  Also enabled when ``engine_config.trace`` asks for
+            tracing; off by default (the zero-cost path).
     """
 
     spec: GPUSpec = DEFAULT_GPU
@@ -105,6 +112,7 @@ class ServiceConfig:
     breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
     cpu_fallback: bool = True
     fallback_threads: int = 0
+    trace: bool = False
 
 
 class Ticket:
@@ -196,6 +204,16 @@ class EstimationService:
             watchdog_ms=config.watchdog_ms,
         )
         self.injector: Optional[FaultInjector] = maybe_injector(config.faults)
+        self.recorder: TraceRecorder = (
+            TraceRecorder(process_name="repro.serve")
+            if (config.trace or config.engine_config.trace)
+            else NO_TRACE
+        )
+        # Cumulative device-side kernel counters across all rounds (the
+        # serve-layer view of the Figure-5 stall summary) and the total
+        # multi-device round time, for the unified metrics namespace.
+        self._kernel_profile = KernelProfile()
+        self._multidev_ms = 0.0
         self._queue: Deque[RoundTask] = deque()
         self._arrivals: Deque[_Pending] = deque()
         self._lock = threading.Lock()
@@ -234,6 +252,15 @@ class EstimationService:
             )
             self._arrivals.append(pending)
             self.metrics.record_submit(self.queue_depth())
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "request.submit", track="serve",
+                    sim_ms=self._clock_ms,
+                    args={
+                        "request_id": request_id,
+                        "queue_depth": self.queue_depth(),
+                    },
+                )
             self._wakeup.notify()
         return ticket
 
@@ -272,7 +299,16 @@ class EstimationService:
         snap["faults_injected"] = (
             self.injector.stats() if self.injector else {"enabled": False}
         )
+        # Device-side kernel telemetry folded across every committed round:
+        # the Figure-5 stall summary and the cumulative multi-device time.
+        snap["stall"] = self._kernel_profile.stall_summary()
+        snap["multidev_ms"] = self._multidev_ms
         return snap
+
+    def registry(self) -> MetricsRegistry:
+        """The unified :class:`~repro.obs.registry.MetricsRegistry` view of
+        :meth:`metrics_snapshot` (JSON snapshot + Prometheus exposition)."""
+        return registry_from_service_snapshot(self.metrics_snapshot())
 
     # ------------------------------------------------------------------
     # Processing loop
@@ -286,15 +322,43 @@ class EstimationService:
 
     def process_once(self) -> bool:
         """One scheduling tick; returns False when there was nothing to do."""
+        rec = self.recorder
         with self._lock:
             self._admit_arrivals_locked()
             batch = self.scheduler.form_batch(self._queue)
             self._inflight = batch
+            clock0 = self._clock_ms
         if not batch:
             return False
+        batch_span = None
+        if rec.enabled:
+            # The engine track follows the service clock (max semantics:
+            # an engine cursor already past clock0 — serialized rounds run
+            # longer than their fused batch — is left alone).
+            rec.set_clock("engine", clock0)
+            batch_span = rec.begin(
+                "serve.batch", track="serve", sim_ms=clock0,
+                args={"n_requests": len(batch)},
+            )
         result = self.scheduler.execute(batch)
+        if batch_span is not None:
+            rec.end(
+                batch_span,
+                sim_dur_ms=result.batch_ms,
+                args={
+                    "n_samples": result.n_samples,
+                    "batch_ms": result.batch_ms,
+                    "n_faults": result.n_faults,
+                    "n_retries": result.n_retries,
+                    "fault_ms": result.fault_ms,
+                },
+            )
         with self._lock:
             self._clock_ms += result.batch_ms
+            for r in result.round_results:
+                if r is not None:
+                    self._kernel_profile.merge(r.profile)
+                    self._multidev_ms += r.multidev_ms()
             self.metrics.record_batch(
                 n_requests=len(batch),
                 n_samples=result.n_samples,
@@ -417,6 +481,7 @@ class EstimationService:
                 self.config.spec,
                 device=self.device,
                 injector=self.injector,
+                recorder=self.recorder,
             )
             self._engines[key] = engine
         return engine
@@ -502,6 +567,14 @@ class EstimationService:
             # round that is expected to fail — degrade immediately.
             self.metrics.record_breaker_rejection()
             name = estimator_name(pending.request.estimator)
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "breaker.reject", track="serve", sim_ms=self._clock_ms,
+                    args={
+                        "estimator": name,
+                        "request_id": pending.ticket.request_id,
+                    },
+                )
             self._degrade_or_fail(
                 pending,
                 ServiceError(
@@ -541,6 +614,14 @@ class EstimationService:
         )
         if breaker.record_failure(self._clock_ms):
             self.metrics.record_breaker_trip()
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "breaker.trip", track="serve", sim_ms=self._clock_ms,
+                    args={
+                        "estimator": estimator_name(pending.request.estimator),
+                        "error": type(error).__name__,
+                    },
+                )
         self._degrade_or_fail(pending, error)
 
     def _degrade_or_fail(self, pending: _Pending, error: BaseException) -> None:
@@ -594,6 +675,15 @@ class EstimationService:
         }
         pending.controller.finish_fallback(combined, cpu.n_samples)
         self.metrics.record_fallback()
+        if self.recorder.enabled:
+            self.recorder.instant(
+                "fallback.cpu", track="serve", sim_ms=self._clock_ms,
+                args={
+                    "request_id": pending.ticket.request_id,
+                    "fallback_samples": cpu.n_samples,
+                    "device_error": type(error).__name__,
+                },
+            )
         self._complete(pending)
 
     def _complete(self, pending: _Pending) -> None:
@@ -635,4 +725,18 @@ class EstimationService:
             n_valid=n_valid,
             degraded=response.degraded,
         )
+        if self.recorder.enabled:
+            self.recorder.instant(
+                "request.done", track="serve", sim_ms=self._clock_ms,
+                args={
+                    "request_id": pending.ticket.request_id,
+                    "latency_ms": latency,
+                    "queue_ms": pending.queue_ms,
+                    "build_ms": pending.build_ms,
+                    "service_ms": response.service_ms,
+                    "n_rounds": response.n_rounds,
+                    "degraded": response.degraded,
+                    "stop_reason": response.stop_reason,
+                },
+            )
         pending.ticket._complete(response)
