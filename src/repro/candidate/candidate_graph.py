@@ -250,12 +250,17 @@ def plan_key(
 ) -> Tuple[str, int, Tuple[Tuple[str, object], ...]]:
     """Cache key for a built plan: ``(graph_id, query_hash, build params)``.
 
-    ``graph_id`` defaults to the graph's name plus its size signature, so
-    two graphs that merely share a name do not collide; pass an explicit id
-    when serving multiple logical graphs under one name.
+    ``graph_id`` defaults to the graph's name plus its size signature *and*
+    a content fingerprint: two distinct graphs that share the default
+    ``name="graph"`` (and even the same vertex/edge counts) must not collide
+    in a cross-request plan cache.  Pass an explicit id to override — e.g.
+    the versioned ids :class:`repro.dyn.MutableGraph` mints per mutation.
     """
     if graph_id is None:
-        graph_id = f"{graph.name}#{graph.n_vertices}v{graph.n_edges}e"
+        graph_id = (
+            f"{graph.name}#{graph.n_vertices}v{graph.n_edges}e"
+            f":{graph.content_fingerprint()[:12]}"
+        )
     params = tuple(sorted(filter_kwargs.items())) + (("order", order_method),)
     return (graph_id, query_fingerprint(query), params)
 

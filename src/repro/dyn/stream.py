@@ -1,0 +1,197 @@
+"""Seeded synthetic update streams and edge-stream sampling.
+
+Mirrors the ``graph.generators`` idiom: every stream is fully determined by
+its seed (coerced through :func:`repro.utils.rng.as_generator`), so a
+(seed, base graph) pair replays an identical mutation history — the property
+the dynamic-equivalence tests and the benchmark harness rely on.
+
+Three stream shapes cover the dynamic-graph regimes the literature measures
+("On Sampling from Massive Graph Streams", PAPERS.md):
+
+* :class:`UniformChurnStream` — stationary graphs: each batch deletes
+  uniform existing edges and inserts uniform non-edges, holding |E| roughly
+  constant (the gSWORD serving scenario: content updates, not growth);
+* :class:`PreferentialGrowthStream` — growing graphs: insert-only batches
+  whose endpoints are drawn degree-proportionally (Barabási–Albert style),
+  thickening hubs the way social/web streams do;
+* :class:`SlidingWindowStream` — timestamped streams: each batch inserts
+  fresh edges and expires every edge older than ``window`` batches, the
+  classic turnstile/sliding-window model.
+
+:class:`EdgeReservoir` is an Algorithm-R uniform sample over the *insertion
+stream* (not the current graph), built on the same substream-spawning
+helpers the sharded estimators use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dyn.mutable import EdgeBatch, MutableGraph
+from repro.errors import GraphError
+from repro.utils.rng import RandomSource, as_generator, spawn_generators
+
+
+class UniformChurnStream:
+    """Delete ``delete_per_batch`` uniform edges, insert ``insert_per_batch``
+    uniform non-edges, per batch.
+
+    With equal rates the edge count is stationary in expectation; the churn
+    *rate* relative to a graph with ``m`` edges is
+    ``(insert_per_batch + delete_per_batch) / m`` per batch.
+    """
+
+    def __init__(
+        self,
+        insert_per_batch: int,
+        delete_per_batch: int,
+        rng: RandomSource = None,
+    ) -> None:
+        if insert_per_batch < 0 or delete_per_batch < 0:
+            raise GraphError("batch sizes must be non-negative")
+        self.insert_per_batch = insert_per_batch
+        self.delete_per_batch = delete_per_batch
+        self._gen = as_generator(rng)
+
+    def next_batch(self, graph: MutableGraph) -> EdgeBatch:
+        deletes = graph.sample_edges(self.delete_per_batch, rng=self._gen)
+        inserts = graph.sample_non_edges(self.insert_per_batch, rng=self._gen)
+        return EdgeBatch.make(
+            inserts=inserts, deletes=deletes, n_vertices=graph.n_vertices
+        )
+
+
+class PreferentialGrowthStream:
+    """Insert-only batches with degree-proportional endpoint choice.
+
+    Each new edge picks one endpoint ∝ ``degree + 1`` (the +1 keeps isolated
+    vertices reachable) and the other uniformly, then keeps the pair if it is
+    not already an edge — a seeded, fixed-vertex-set analog of
+    ``preferential_attachment_graph``'s repeated-vertex trick.
+    """
+
+    def __init__(self, edges_per_batch: int, rng: RandomSource = None) -> None:
+        if edges_per_batch < 1:
+            raise GraphError("edges_per_batch must be >= 1")
+        self.edges_per_batch = edges_per_batch
+        self._gen = as_generator(rng)
+
+    def next_batch(self, graph: MutableGraph) -> EdgeBatch:
+        gen = self._gen
+        n = graph.n_vertices
+        snap = graph.snapshot()
+        weights = (np.diff(snap.offsets) + 1).astype(np.float64)
+        weights /= weights.sum()
+        picked: List[Tuple[int, int]] = []
+        seen = set()
+        guard = 0
+        while len(picked) < self.edges_per_batch and guard < 200 * self.edges_per_batch + 100:
+            guard += 1
+            u = int(gen.choice(n, p=weights))
+            v = int(gen.integers(0, n))
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in seen or graph.has_edge(*key):
+                continue
+            seen.add(key)
+            picked.append(key)
+        return EdgeBatch.make(inserts=picked, n_vertices=n)
+
+
+class SlidingWindowStream:
+    """Insert fresh edges each batch; expire edges older than ``window``.
+
+    Tracks its own insertion ledger, so expiry deletes exactly the edges it
+    inserted ``window`` batches ago (pre-existing base edges are never
+    expired).  Models timestamped edge streams where only the recent window
+    is queryable.
+    """
+
+    def __init__(
+        self,
+        edges_per_batch: int,
+        window: int,
+        rng: RandomSource = None,
+    ) -> None:
+        if edges_per_batch < 1:
+            raise GraphError("edges_per_batch must be >= 1")
+        if window < 1:
+            raise GraphError("window must be >= 1")
+        self.edges_per_batch = edges_per_batch
+        self.window = window
+        self._gen = as_generator(rng)
+        self._ledger: Deque[np.ndarray] = deque()
+
+    def next_batch(self, graph: MutableGraph) -> EdgeBatch:
+        inserts = graph.sample_non_edges(self.edges_per_batch, rng=self._gen)
+        deletes: np.ndarray
+        if len(self._ledger) >= self.window:
+            deletes = self._ledger.popleft()
+        else:
+            deletes = np.zeros((0, 2), dtype=np.int64)
+        self._ledger.append(inserts)
+        return EdgeBatch.make(
+            inserts=inserts, deletes=deletes, n_vertices=graph.n_vertices
+        )
+
+
+class EdgeReservoir:
+    """Algorithm-R uniform reservoir over an edge-insertion stream.
+
+    After observing ``t`` insertions, every one of them is in the reservoir
+    with probability ``capacity / t`` — the unweighted counterpart of
+    ``repro.core.streaming.WeightedReservoir``, sized for delta feeds: feed
+    it :meth:`observe_batch` with each :class:`AppliedDelta`'s ``added``
+    rows.  Uses a spawned child substream so a caller sharing one root seed
+    between a stream and its reservoir still gets independent draws.
+    """
+
+    def __init__(self, capacity: int, rng: RandomSource = None) -> None:
+        if capacity < 1:
+            raise GraphError("capacity must be >= 1")
+        self.capacity = capacity
+        (self._gen,) = spawn_generators(as_generator(rng), 1)
+        self._sample: List[Tuple[int, int]] = []
+        self.n_seen = 0
+
+    def observe(self, u: int, v: int) -> None:
+        self.n_seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append((int(u), int(v)))
+            return
+        j = int(self._gen.integers(0, self.n_seen))
+        if j < self.capacity:
+            self._sample[j] = (int(u), int(v))
+
+    def observe_batch(self, edges: np.ndarray) -> None:
+        for u, v in np.asarray(edges).reshape(-1, 2):
+            self.observe(int(u), int(v))
+
+    def sample(self) -> np.ndarray:
+        """Current reservoir contents, ``int64[k, 2]`` in insertion order."""
+        return np.asarray(self._sample, dtype=np.int64).reshape(-1, 2)
+
+
+def drive(
+    graph: MutableGraph,
+    stream: object,
+    n_batches: int,
+    reservoir: Optional[EdgeReservoir] = None,
+) -> List[EdgeBatch]:
+    """Apply ``n_batches`` from ``stream`` to ``graph``; returns the batches.
+
+    Convenience used by tests and the benchmark: feeds each applied delta's
+    insertions to ``reservoir`` when given.
+    """
+    batches: List[EdgeBatch] = []
+    for _ in range(n_batches):
+        batch = stream.next_batch(graph)  # type: ignore[attr-defined]
+        delta = graph.apply(batch)
+        if reservoir is not None:
+            reservoir.observe_batch(delta.added)
+        batches.append(batch)
+    return batches

@@ -10,6 +10,7 @@ neighbour scans.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Sequence, Tuple
 
@@ -37,6 +38,9 @@ class CSRGraph:
     labels: np.ndarray
     name: str = "graph"
     _label_index: Dict[int, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+    _fingerprint_cache: Dict[str, str] = field(
         default_factory=dict, repr=False, compare=False, hash=False
     )
 
@@ -112,6 +116,27 @@ class CSRGraph:
         if cached is None:
             cached = np.flatnonzero(self.labels == label).astype(np.int64)
             self._label_index[label] = cached
+        return cached
+
+    def content_fingerprint(self) -> str:
+        """Stable hex digest of the graph's *content* (structure + labels).
+
+        Two graphs hash identically iff their CSR arrays and labels are
+        byte-identical, regardless of ``name`` — the identity a cross-request
+        plan cache needs when callers reuse the default graph name.  The
+        digest is memoized per instance (the arrays are immutable by
+        contract), so repeated cache-key construction is O(1) after the
+        first call.
+        """
+        cached = self._fingerprint_cache.get("content")
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(b"csr-v1")
+            digest.update(self.n_vertices.to_bytes(8, "little"))
+            for array in (self.offsets, self.neighbors, self.labels):
+                digest.update(np.ascontiguousarray(array).tobytes())
+            cached = digest.hexdigest()
+            self._fingerprint_cache["content"] = cached
         return cached
 
     def edges(self) -> Iterator[Tuple[VertexId, VertexId]]:

@@ -476,6 +476,32 @@ def registry_from_service_snapshot(
         for event in ("hits", "misses", "evictions"):
             if event in cache:
                 cache_events.labels(event=event).inc(float(cache[event]))
+        reasons = cache.get("evictions_by_reason")
+        if isinstance(reasons, Mapping):
+            cache_evictions = reg.counter(
+                "plan_cache_evictions_total",
+                "Plan-cache evictions by reason (capacity vs. version "
+                "invalidation)",
+                labels=("reason",),
+            )
+            for reason, count in reasons.items():
+                cache_evictions.labels(reason=str(reason)).inc(float(count))
+
+    plans = snap.get("plans")
+    if isinstance(plans, Mapping):
+        plan_events = reg.counter(
+            "plan_lifecycle_total",
+            "Dynamic-graph plan lifecycle events (delta refreshes installed, "
+            "invalidation sweeps, entries evicted as stale)",
+            labels=("event",),
+        )
+        for key, label in (
+            ("n_refreshes", "refresh"),
+            ("n_invalidations", "invalidation"),
+            ("n_invalidated_entries", "invalidated_entry"),
+        ):
+            if key in plans:
+                plan_events.labels(event=label).inc(float(plans[key]))
 
     injected = snap.get("faults_injected")
     if isinstance(injected, Mapping):

@@ -25,7 +25,12 @@ Quickstart::
 """
 
 from repro.serve.breaker import BreakerPolicy, BreakerState, CircuitBreaker
-from repro.serve.cache import CachedPlan, PlanCache, build_plan
+from repro.serve.cache import (
+    CachedPlan,
+    PlanCache,
+    build_plan,
+    parse_versioned_graph_id,
+)
 from repro.serve.controller import (
     REASON_FALLBACK,
     AdaptiveBudgetController,
@@ -54,6 +59,7 @@ __all__ = [
     "PlanCache",
     "CachedPlan",
     "build_plan",
+    "parse_versioned_graph_id",
     "AdaptiveBudgetController",
     "BudgetPolicy",
     "relative_ci",

@@ -133,6 +133,12 @@ class ServiceMetrics:
     # on fewer shards than configured — the engine never spreads one warp
     # across many workers).
     rounds_by_shard_count: Dict[int, int] = field(default_factory=dict)
+    # Dynamic-graph plan lifecycle (repro.dyn serving integration): plans
+    # installed after a delta refresh, explicit invalidation calls, and the
+    # total entries those calls evicted.
+    n_plan_refreshes: int = 0
+    n_plan_invalidations: int = 0
+    n_plans_invalidated: int = 0
 
     # ------------------------------------------------------------------
     def record_submit(self, queue_depth: int) -> None:
@@ -204,6 +210,16 @@ class ServiceMetrics:
         """The background worker survived an unexpected processing error."""
         self.n_worker_crashes += 1
 
+    # Dynamic-graph plan lifecycle --------------------------------------
+    def record_plan_refresh(self) -> None:
+        """One delta-refreshed plan was installed into the cache."""
+        self.n_plan_refreshes += 1
+
+    def record_plan_invalidation(self, n_evicted: int) -> None:
+        """One invalidation sweep ran, evicting ``n_evicted`` entries."""
+        self.n_plan_invalidations += 1
+        self.n_plans_invalidated += n_evicted
+
     # ------------------------------------------------------------------
     @property
     def samples_per_second(self) -> float:
@@ -238,6 +254,11 @@ class ServiceMetrics:
             "rounds_by_shard_count": {
                 str(n): count
                 for n, count in sorted(self.rounds_by_shard_count.items())
+            },
+            "plans": {
+                "n_refreshes": self.n_plan_refreshes,
+                "n_invalidations": self.n_plan_invalidations,
+                "n_invalidated_entries": self.n_plans_invalidated,
             },
             "latency_ms": self.latency.snapshot(),
             "queue_wait_ms": self.queue_wait.snapshot(),

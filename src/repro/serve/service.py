@@ -47,7 +47,12 @@ from repro.gpu.profiler import KernelProfile
 from repro.obs.registry import MetricsRegistry, registry_from_service_snapshot
 from repro.obs.trace import NO_TRACE, TraceRecorder
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker
-from repro.serve.cache import PlanCache, build_plan
+from repro.serve.cache import (
+    CachedPlan,
+    PlanCache,
+    build_plan,
+    parse_versioned_graph_id,
+)
 from repro.serve.controller import AdaptiveBudgetController, BudgetPolicy
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.request import (
@@ -168,6 +173,7 @@ class _Pending:
     first_service_ms: Optional[float] = None
     extra_ms: float = 0.0  # simulated time outside device batches (fallback)
     override_acc: Optional[HTAccumulator] = None  # fallback-combined evidence
+    graph_version: Optional[int] = None  # versioned-graph requests only
     extras: Dict[str, object] = field(default_factory=dict)
 
 
@@ -309,6 +315,59 @@ class EstimationService:
         """The unified :class:`~repro.obs.registry.MetricsRegistry` view of
         :meth:`metrics_snapshot` (JSON snapshot + Prometheus exposition)."""
         return registry_from_service_snapshot(self.metrics_snapshot())
+
+    # ------------------------------------------------------------------
+    # Dynamic-graph hooks (repro.dyn serving integration)
+    # ------------------------------------------------------------------
+    def install_plan(self, plan: CachedPlan) -> bool:
+        """Install an externally maintained plan (thread-safe).
+
+        The delta-refresh path builds plans incrementally outside the
+        service; installing them here turns subsequent requests for the
+        same (graph version, query) into cache hits.  Counted as a plan
+        refresh; returns False when the cache is disabled or the plan
+        failed budget admission.
+        """
+        with self._lock:
+            if self.cache is None:
+                return False
+            resident = self.cache.put(plan)
+            self.metrics.record_plan_refresh()
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "plan.refresh", track="serve", sim_ms=self._clock_ms,
+                    args={
+                        "graph_id": str(plan.key[0]),
+                        "resident": resident,
+                        "nbytes": plan.nbytes,
+                    },
+                )
+            return resident
+
+    def invalidate_plans(
+        self, base_id: str, before_version: Optional[int] = None
+    ) -> int:
+        """Evict cached plans for stale versions of a mutating graph.
+
+        Thread-safe; see :meth:`PlanCache.invalidate` for the matching
+        rule.  Returns the number of entries evicted (0 when the cache is
+        disabled).
+        """
+        with self._lock:
+            if self.cache is None:
+                return 0
+            evicted = self.cache.invalidate(base_id, before_version)
+            self.metrics.record_plan_invalidation(evicted)
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "plan.invalidate", track="serve", sim_ms=self._clock_ms,
+                    args={
+                        "base_id": base_id,
+                        "before_version": before_version,
+                        "evicted": evicted,
+                    },
+                )
+            return evicted
 
     # ------------------------------------------------------------------
     # Processing loop
@@ -514,6 +573,11 @@ class EstimationService:
 
     def _admit(self, pending: _Pending) -> None:
         request = pending.request
+        pending.graph_version = request.graph_version
+        if pending.graph_version is None and request.graph_id is not None:
+            parsed = parse_versioned_graph_id(request.graph_id)
+            if parsed is not None:
+                pending.graph_version = parsed[1]
         if self.cache is not None:
             plan, hit = self.cache.get_or_build(
                 request.graph,
@@ -717,6 +781,7 @@ class EstimationService:
             service_ms=max(0.0, service_ms),
             cache_hit=pending.cache_hit,
             estimator=estimator_name(pending.request.estimator),
+            graph_version=pending.graph_version,
             extras=pending.extras,
         )
         self.metrics.record_completion(

@@ -151,3 +151,122 @@ class TestCompleteness:
         for embedding in enumerate_embeddings(cg, order, limit=20):
             for (u, u_prime) in query.edges():
                 assert graph.has_edge(embedding[u], embedding[u_prime])
+
+
+class TestValidateAdversarial:
+    """validate() must reject every class of corruption it claims to check.
+
+    The dynamic subsystem calls validate() after every delta refresh
+    (DeltaPlanMaintainer's validate_after_refresh), so these tests pin down
+    that the audit actually bites — a validate() that silently passes
+    corrupted CSR arrays would void that safety net.
+    """
+
+    @pytest.fixture()
+    def cg(self):
+        from repro.graph.generators import erdos_renyi_graph, random_labels
+
+        graph = erdos_renyi_graph(
+            120, 200, rng=2, labels=random_labels(120, 2, rng=3)
+        )
+        query = extract_query(graph, 4, rng=1)
+        cg = build_candidate_graph(graph, query)
+        assert not cg.is_empty()
+        cg.validate()  # sanity: the uncorrupted build passes
+        return cg
+
+    @staticmethod
+    def _copy(cg, **overrides):
+        import dataclasses
+
+        return dataclasses.replace(cg, **overrides)
+
+    def test_unsorted_global_candidates_rejected(self, cg):
+        u = next(
+            u for u, c in enumerate(cg.global_candidates) if len(c) > 1
+        )
+        corrupted = [c.copy() for c in cg.global_candidates]
+        corrupted[u] = corrupted[u][::-1].copy()
+        bad = self._copy(cg, global_candidates=corrupted)
+        with pytest.raises(CandidateGraphError, match="not strictly sorted"):
+            bad.validate()
+
+    def test_duplicate_global_candidate_rejected(self, cg):
+        u = next(
+            u for u, c in enumerate(cg.global_candidates) if len(c) > 1
+        )
+        corrupted = [c.copy() for c in cg.global_candidates]
+        corrupted[u][1] = corrupted[u][0]  # duplicate = non-strict order
+        bad = self._copy(cg, global_candidates=corrupted)
+        with pytest.raises(CandidateGraphError, match="not strictly sorted"):
+            bad.validate()
+
+    def test_wrong_label_candidate_rejected(self, cg):
+        graph, query = cg.graph, cg.query
+        for u in range(query.n_vertices):
+            cand = set(int(x) for x in cg.global_candidates[u])
+            wrong = [
+                v for v in range(graph.n_vertices)
+                if graph.label(v) != query.label(u) and v not in cand
+            ]
+            if wrong:
+                break
+        corrupted = [c.copy() for c in cg.global_candidates]
+        corrupted[u] = np.unique(
+            np.append(corrupted[u], np.int64(wrong[0]))
+        )
+        bad = self._copy(cg, global_candidates=corrupted)
+        with pytest.raises(CandidateGraphError, match="wrong label"):
+            bad.validate()
+
+    def test_unsorted_edge_candidates_rejected(self, cg):
+        eid = next(
+            eid for eid, _, _ in cg.directed_edges()
+            if len(cg.candidates_of_edge(eid)) > 1
+        )
+        ecand = cg.ecand_vertices.copy()
+        lo, hi = int(cg.ecand_offsets[eid]), int(cg.ecand_offsets[eid + 1])
+        ecand[lo:hi] = ecand[lo:hi][::-1]
+        bad = self._copy(cg, ecand_vertices=ecand)
+        with pytest.raises(CandidateGraphError, match="candidates not sorted"):
+            bad.validate()
+
+    def test_unsorted_local_set_rejected(self, cg):
+        local = cg.local_vertices.copy()
+        for pos in range(len(cg.local_offsets) - 1):
+            lo, hi = int(cg.local_offsets[pos]), int(cg.local_offsets[pos + 1])
+            if hi - lo > 1:
+                local[lo:hi] = local[lo:hi][::-1]
+                break
+        else:
+            pytest.skip("no multi-entry local set in this build")
+        bad = self._copy(cg, local_vertices=local)
+        with pytest.raises(CandidateGraphError, match="not sorted"):
+            bad.validate()
+
+    def test_non_edge_local_candidate_rejected(self, cg):
+        graph = cg.graph
+        local = cg.local_vertices.copy()
+        replaced = False
+        for eid, _, _ in cg.directed_edges():
+            for v in cg.candidates_of_edge(eid):
+                lo, hi = cg.local_slice(eid, int(v))
+                width = hi - lo
+                if width == 0:
+                    continue
+                non_nbrs = [
+                    w for w in range(graph.n_vertices)
+                    if w != int(v) and not graph.has_edge(int(v), w)
+                ]
+                if len(non_nbrs) >= width:
+                    local[lo:hi] = np.asarray(
+                        non_nbrs[:width], dtype=local.dtype
+                    )
+                    replaced = True
+                    break
+            if replaced:
+                break
+        assert replaced
+        bad = self._copy(cg, local_vertices=local)
+        with pytest.raises(CandidateGraphError, match="not a data edge"):
+            bad.validate()

@@ -1,0 +1,207 @@
+"""Bit-identity of delta plan maintenance against full rebuilds.
+
+The subsystem's load-bearing invariant: at every version of a seeded
+update stream, :meth:`DeltaPlanMaintainer.refresh` must produce a
+candidate graph *bit-identical* (every CSR array equal, dtype included)
+to ``build_candidate_graph`` run from scratch on the same snapshot — the
+delta path is an optimisation, never an approximation.  Estimates on the
+refreshed plan are then trivially equal for the same seeds, which the
+last tests confirm end to end through the engine and the serving stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.candidate.candidate_graph import build_candidate_graph
+from repro.core.config import EngineConfig
+from repro.core.engine import GSWORDEngine
+from repro.dyn.delta import DeltaPlanMaintainer, candidate_graphs_equal
+from repro.dyn.mutable import MutableGraph
+from repro.dyn.stream import UniformChurnStream
+from repro.errors import CandidateGraphError
+from repro.estimators.alley import AlleyEstimator
+from repro.graph.generators import erdos_renyi_graph, random_labels
+from repro.query.extract import extract_query
+from repro.query.matching_order import quicksi_order
+from repro.serve.request import EstimateRequest
+from repro.serve.service import EstimationService
+
+
+def make_base(n=250, m=350, n_labels=3, seed=0):
+    return erdos_renyi_graph(
+        n, m, rng=seed, labels=random_labels(n, n_labels, rng=seed + 1),
+        name="dyn-eq",
+    )
+
+
+def assert_bit_identical(cg_a, cg_b, context=""):
+    __tracebackhide__ = True
+    if not candidate_graphs_equal(cg_a, cg_b):
+        pytest.fail(f"candidate graphs diverged {context}")
+
+
+class TestLongStream:
+    def test_200_batch_stream_bit_identical_every_version(self):
+        """The acceptance criterion: 200 seeded batches, checked at every
+        single version against a from-scratch build."""
+        base = make_base()
+        graph = MutableGraph(base)
+        maintainer = DeltaPlanMaintainer(
+            graph, extract_query(base, 4, rng=5), validate_after_refresh=False
+        )
+        stream = UniformChurnStream(4, 4, rng=123)
+        for _ in range(200):
+            graph.apply(stream.next_batch(graph))
+            stats = maintainer.refresh()
+            full = build_candidate_graph(graph.snapshot(), maintainer.query)
+            assert_bit_identical(
+                maintainer.cg, full, f"at version {graph.version}"
+            )
+            assert 0.0 <= stats.touched_fraction <= 1.0
+        assert graph.version == 200
+        assert maintainer.version == 200
+        maintainer.cg.validate()
+
+    def test_compaction_does_not_perturb_maintenance(self):
+        base = make_base(seed=2)
+        plain = MutableGraph(base)
+        compacting = MutableGraph(base, compact_every=5)
+        query = extract_query(base, 4, rng=5)
+        m_plain = DeltaPlanMaintainer(plain, query)
+        m_comp = DeltaPlanMaintainer(compacting, query)
+        stream_a = UniformChurnStream(5, 5, rng=77)
+        stream_b = UniformChurnStream(5, 5, rng=77)
+        for _ in range(20):
+            plain.apply(stream_a.next_batch(plain))
+            compacting.apply(stream_b.next_batch(compacting))
+            m_plain.refresh()
+            m_comp.refresh()
+            assert_bit_identical(m_plain.cg, m_comp.cg)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(use_nlf=False, refine_passes=0),
+        dict(use_nlf=False, refine_passes=1),
+        dict(use_nlf=True, refine_passes=3),
+        dict(use_nlf=True, refine_passes=2, use_degree=False),
+        dict(use_nlf=False, refine_passes=2, use_label=False),
+    ],
+)
+class TestFilterVariants:
+    def test_variant_bit_identical(self, kwargs):
+        base = make_base(seed=4)
+        graph = MutableGraph(base)
+        query = extract_query(base, 4, rng=9)
+        maintainer = DeltaPlanMaintainer(graph, query, **kwargs)
+        stream = UniformChurnStream(5, 5, rng=31)
+        for _ in range(25):
+            graph.apply(stream.next_batch(graph))
+            maintainer.refresh()
+        full = build_candidate_graph(graph.snapshot(), query, **kwargs)
+        assert_bit_identical(maintainer.cg, full)
+
+
+class TestMaintainerMechanics:
+    def test_noop_refresh_is_free(self):
+        base = make_base()
+        graph = MutableGraph(base)
+        maintainer = DeltaPlanMaintainer(graph, extract_query(base, 4, rng=5))
+        stats = maintainer.refresh()
+        assert stats.is_noop and stats.rows_touched == 0
+
+    def test_multi_version_catchup(self):
+        """One refresh may span several applied batches."""
+        base = make_base(seed=6)
+        graph = MutableGraph(base)
+        query = extract_query(base, 4, rng=5)
+        maintainer = DeltaPlanMaintainer(graph, query)
+        stream = UniformChurnStream(4, 4, rng=55)
+        for _ in range(7):
+            graph.apply(stream.next_batch(graph))
+        stats = maintainer.refresh()
+        assert stats.from_version == 0 and stats.to_version == 7
+        assert_bit_identical(
+            maintainer.cg, build_candidate_graph(graph.snapshot(), query)
+        )
+
+    def test_rebuild_resyncs(self):
+        base = make_base()
+        graph = MutableGraph(base)
+        maintainer = DeltaPlanMaintainer(graph, extract_query(base, 4, rng=5))
+        stream = UniformChurnStream(4, 4, rng=13)
+        for _ in range(3):
+            graph.apply(stream.next_batch(graph))
+        maintainer.rebuild()
+        assert maintainer.version == graph.version
+        maintainer.assert_synced()
+
+    def test_check_against_rebuild(self):
+        base = make_base()
+        graph = MutableGraph(base)
+        maintainer = DeltaPlanMaintainer(graph, extract_query(base, 4, rng=5))
+        graph.apply(UniformChurnStream(4, 4, rng=3).next_batch(graph))
+        maintainer.refresh()
+        maintainer.check_against_rebuild()
+
+    def test_assert_synced_detects_lag(self):
+        base = make_base()
+        graph = MutableGraph(base)
+        maintainer = DeltaPlanMaintainer(graph, extract_query(base, 4, rng=5))
+        graph.apply(UniformChurnStream(4, 4, rng=3).next_batch(graph))
+        with pytest.raises(CandidateGraphError):
+            maintainer.assert_synced()
+
+
+class TestEstimateEquality:
+    def test_engine_estimates_match_for_same_seed(self):
+        """Bit-identical plans give bit-identical estimates."""
+        base = make_base(seed=8)
+        graph = MutableGraph(base)
+        query = extract_query(base, 4, rng=5)
+        maintainer = DeltaPlanMaintainer(graph, query)
+        stream = UniformChurnStream(5, 5, rng=99)
+        for _ in range(10):
+            graph.apply(stream.next_batch(graph))
+            maintainer.refresh()
+        snap = graph.snapshot()
+        full = build_candidate_graph(snap, query)
+        order = quicksi_order(query, snap)
+        engine = GSWORDEngine(AlleyEstimator(), EngineConfig.gsword())
+        a = engine.run(maintainer.cg, order, 512, rng=4242)
+        b = engine.run(full, order, 512, rng=4242)
+        assert a.estimate == b.estimate
+        assert a.simulated_ms() == b.simulated_ms()
+
+    def test_served_estimate_matches_static_service(self):
+        """An estimate through the mutated graph's maintained plan equals a
+        fresh static service's estimate on the rebuilt snapshot, given the
+        same request id (the sampling seed)."""
+        from repro.dyn.serving import DynamicEstimationSession
+
+        base = make_base(seed=10)
+        query = extract_query(base, 4, rng=5)
+        with DynamicEstimationSession(MutableGraph(base)) as session:
+            session.register_query(query)
+            stream = UniformChurnStream(5, 5, rng=17)
+            for _ in range(6):
+                session.mutate(stream.next_batch(session.graph))
+            dynamic = session.estimate(
+                query, max_samples=1024, request_id="eq-seed"
+            )
+            snap = session.plan_snapshot(query)
+            graph_id = session.graph.graph_id
+        service = EstimationService()
+        try:
+            static = service.estimate(
+                EstimateRequest(
+                    graph=snap, query=query, max_samples=1024,
+                    graph_id=graph_id, request_id="eq-seed",
+                )
+            )
+        finally:
+            service.close()
+        assert dynamic.estimate == static.estimate
+        assert dynamic.n_samples == static.n_samples
+        assert dynamic.graph_version == session.graph.version

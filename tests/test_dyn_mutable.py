@@ -1,0 +1,227 @@
+"""Tests for the versioned mutable graph wrapper (repro/dyn/mutable.py)."""
+
+import numpy as np
+import pytest
+
+from repro.dyn.mutable import EdgeBatch, MutableGraph, normalize_edges
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_list
+from repro.graph.generators import erdos_renyi_graph, random_labels
+from repro.serve.cache import parse_versioned_graph_id
+
+
+def small_base(name="mut"):
+    return from_edge_list(
+        [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+        labels=[0, 1, 0, 1, 0],
+        name=name,
+    )
+
+
+def edge_set(graph):
+    return set(graph.edges())
+
+
+class TestNormalizeEdges:
+    def test_canonicalises_and_dedups(self):
+        out = normalize_edges([(3, 1), (1, 3), (0, 2)], n_vertices=5)
+        assert out.tolist() == [[0, 2], [1, 3]]
+        assert out.dtype == np.int64
+
+    def test_empty(self):
+        assert normalize_edges([], n_vertices=5).shape == (0, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            normalize_edges([(2, 2)], n_vertices=5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            normalize_edges([(0, 5)], n_vertices=5)
+        with pytest.raises(GraphError):
+            normalize_edges([(-1, 2)], n_vertices=5)
+
+
+class TestApply:
+    def test_insert_and_delete(self):
+        g = MutableGraph(small_base())
+        delta = g.apply(
+            EdgeBatch.make(inserts=[(1, 3)], deletes=[(0, 1)], n_vertices=5)
+        )
+        assert g.version == 1
+        assert delta.version == 1
+        assert g.has_edge(1, 3) and not g.has_edge(0, 1)
+        assert g.n_edges == 5
+        assert delta.added.tolist() == [[1, 3]]
+        assert delta.removed.tolist() == [[0, 1]]
+        assert sorted(delta.endpoints().tolist()) == [0, 1, 3]
+
+    def test_noop_requests_dropped_from_delta(self):
+        g = MutableGraph(small_base())
+        delta = g.apply(
+            EdgeBatch.make(
+                inserts=[(0, 1)],  # already present
+                deletes=[(1, 4)],  # absent
+                n_vertices=5,
+            )
+        )
+        assert delta.is_empty
+        assert g.version == 1  # version advances even for empty deltas
+        assert g.n_edges == 5
+
+    def test_reinsert_after_delete_restores(self):
+        g = MutableGraph(small_base())
+        g.apply(EdgeBatch.make(deletes=[(0, 1)], n_vertices=5))
+        g.apply(EdgeBatch.make(inserts=[(0, 1)], n_vertices=5))
+        assert g.has_edge(0, 1)
+        assert g.delta_size == 0  # overlay cancelled out
+        assert g.version == 2
+
+    def test_deltas_since(self):
+        g = MutableGraph(small_base())
+        d1 = g.apply(EdgeBatch.make(inserts=[(1, 3)], n_vertices=5))
+        d2 = g.apply(EdgeBatch.make(deletes=[(2, 3)], n_vertices=5))
+        assert g.deltas_since(0) == [d1, d2]
+        assert g.deltas_since(1) == [d2]
+        assert g.deltas_since(2) == []
+        with pytest.raises(GraphError):
+            g.deltas_since(3)
+
+
+class TestSnapshot:
+    def test_snapshot_matches_reference_build(self):
+        g = MutableGraph(small_base())
+        g.apply(
+            EdgeBatch.make(
+                inserts=[(1, 3), (2, 4)], deletes=[(0, 4)], n_vertices=5
+            )
+        )
+        snap = g.snapshot()
+        snap.validate()
+        expected = from_edge_list(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3), (2, 4)],
+            labels=[0, 1, 0, 1, 0],
+        )
+        assert edge_set(snap) == edge_set(expected)
+        assert np.array_equal(snap.offsets, expected.offsets)
+        assert np.array_equal(snap.neighbors, expected.neighbors)
+
+    def test_snapshot_cached_per_version(self):
+        g = MutableGraph(small_base())
+        g.apply(EdgeBatch.make(inserts=[(1, 3)], n_vertices=5))
+        assert g.snapshot() is g.snapshot()
+        g.apply(EdgeBatch.make(deletes=[(1, 3)], n_vertices=5))
+        assert g.snapshot().n_edges == 5
+
+    def test_snapshot_name_carries_version(self):
+        g = MutableGraph(small_base(name="dyn"))
+        g.apply(EdgeBatch.make(inserts=[(1, 3)], n_vertices=5))
+        assert g.snapshot().name == "dyn@v1"
+
+    def test_randomised_apply_equals_rebuild(self):
+        rng = np.random.default_rng(7)
+        base = erdos_renyi_graph(
+            60, 90, rng=3, labels=random_labels(60, 3, rng=4)
+        )
+        g = MutableGraph(base)
+        edges = set(base.edges())
+        for _ in range(25):
+            dels = [
+                e for e in sorted(edges) if rng.random() < 0.1
+            ][:5]
+            ins = []
+            while len(ins) < 5:
+                u, v = int(rng.integers(0, 60)), int(rng.integers(0, 60))
+                if u != v and (min(u, v), max(u, v)) not in edges:
+                    ins.append((min(u, v), max(u, v)))
+            g.apply(EdgeBatch.make(inserts=ins, deletes=dels, n_vertices=60))
+            edges -= set(dels)
+            edges |= set(ins)
+            snap = g.snapshot()
+            snap.validate()
+            assert edge_set(snap) == edges
+
+
+class TestCompaction:
+    def test_compaction_preserves_snapshots(self):
+        base = erdos_renyi_graph(
+            80, 120, rng=0, labels=random_labels(80, 2, rng=1)
+        )
+        plain = MutableGraph(base)
+        compacting = MutableGraph(base, compact_every=3)
+        rng = np.random.default_rng(11)
+        for _ in range(12):
+            dels = plain.sample_edges(4, rng=rng)
+            ins = plain.sample_non_edges(4, rng=rng)
+            batch = EdgeBatch.make(inserts=ins, deletes=dels, n_vertices=80)
+            plain.apply(batch)
+            compacting.apply(batch)
+            a, b = plain.snapshot(), compacting.snapshot()
+            assert np.array_equal(a.offsets, b.offsets)
+            assert np.array_equal(a.neighbors, b.neighbors)
+            assert plain.content_fingerprint() == compacting.content_fingerprint()
+        assert compacting.delta_size == 0  # just compacted at version 12
+
+    def test_ratio_compaction_bounds_overlay(self):
+        g = MutableGraph(small_base(), compact_ratio=0.3)
+        g.apply(EdgeBatch.make(inserts=[(1, 3), (2, 4)], n_vertices=5))
+        # 2 > 0.3 * 5 edges -> compacted away.
+        assert g.delta_size == 0
+        assert g.n_edges == 7
+
+    def test_bad_params(self):
+        with pytest.raises(GraphError):
+            MutableGraph(small_base(), compact_every=0)
+        with pytest.raises(GraphError):
+            MutableGraph(small_base(), compact_ratio=0.0)
+
+
+class TestFingerprint:
+    def test_same_content_same_fingerprint_across_histories(self):
+        a = MutableGraph(small_base())
+        b = MutableGraph(small_base())
+        a.apply(EdgeBatch.make(inserts=[(1, 3)], n_vertices=5))
+        b.apply(EdgeBatch.make(inserts=[(1, 3), (2, 4)], n_vertices=5))
+        b.apply(EdgeBatch.make(deletes=[(2, 4)], n_vertices=5))
+        assert a.content_fingerprint() == b.content_fingerprint()
+        assert a.version != b.version  # identity differs, content matches
+
+    def test_fingerprint_tracks_content(self):
+        g = MutableGraph(small_base())
+        fp0 = g.content_fingerprint()
+        g.apply(EdgeBatch.make(inserts=[(1, 3)], n_vertices=5))
+        assert g.content_fingerprint() != fp0
+        g.apply(EdgeBatch.make(deletes=[(1, 3)], n_vertices=5))
+        assert g.content_fingerprint() == fp0
+
+    def test_graph_id_parses(self):
+        g = MutableGraph(small_base(name="mut"))
+        g.apply(EdgeBatch.make(inserts=[(1, 3)], n_vertices=5))
+        parsed = parse_versioned_graph_id(g.graph_id)
+        assert parsed == ("mut", 1)
+
+    def test_fingerprint_matches_after_compaction(self):
+        g = MutableGraph(small_base(), compact_every=1)
+        g.apply(EdgeBatch.make(inserts=[(1, 3)], n_vertices=5))
+        h = MutableGraph(small_base())
+        h.apply(EdgeBatch.make(inserts=[(1, 3)], n_vertices=5))
+        assert g.content_fingerprint() == h.content_fingerprint()
+
+
+class TestSampling:
+    def test_sample_edges_are_edges(self):
+        g = MutableGraph(small_base())
+        g.apply(EdgeBatch.make(inserts=[(1, 3)], n_vertices=5))
+        for u, v in g.sample_edges(50, rng=0):
+            assert g.has_edge(int(u), int(v))
+            assert u < v
+
+    def test_sample_non_edges_are_absent(self):
+        g = MutableGraph(small_base())
+        for u, v in g.sample_non_edges(50, rng=0):
+            assert not g.has_edge(int(u), int(v))
+            assert u < v
+
+    def test_sampling_deterministic(self):
+        g = MutableGraph(small_base())
+        assert np.array_equal(g.sample_edges(10, rng=9), g.sample_edges(10, rng=9))

@@ -1,0 +1,166 @@
+"""Tests for synthetic update streams and the edge reservoir."""
+
+import numpy as np
+import pytest
+
+from repro.dyn.mutable import MutableGraph
+from repro.dyn.stream import (
+    EdgeReservoir,
+    PreferentialGrowthStream,
+    SlidingWindowStream,
+    UniformChurnStream,
+    drive,
+)
+from repro.errors import GraphError
+from repro.graph.generators import erdos_renyi_graph, random_labels
+
+
+def make_graph(seed=0):
+    base = erdos_renyi_graph(
+        200, 300, rng=seed, labels=random_labels(200, 2, rng=seed + 1)
+    )
+    return MutableGraph(base)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: UniformChurnStream(5, 5, rng=seed),
+            lambda seed: PreferentialGrowthStream(6, rng=seed),
+            lambda seed: SlidingWindowStream(4, window=3, rng=seed),
+        ],
+    )
+    def test_same_seed_same_history(self, factory):
+        a, b = make_graph(), make_graph()
+        drive(a, factory(42), 15)
+        drive(b, factory(42), 15)
+        assert a.content_fingerprint() == b.content_fingerprint()
+        sa, sb = a.snapshot(), b.snapshot()
+        assert np.array_equal(sa.offsets, sb.offsets)
+        assert np.array_equal(sa.neighbors, sb.neighbors)
+
+    def test_different_seeds_diverge(self):
+        a, b = make_graph(), make_graph()
+        drive(a, UniformChurnStream(5, 5, rng=1), 10)
+        drive(b, UniformChurnStream(5, 5, rng=2), 10)
+        assert a.content_fingerprint() != b.content_fingerprint()
+
+
+class TestUniformChurn:
+    def test_edge_count_roughly_stationary(self):
+        g = make_graph()
+        drive(g, UniformChurnStream(8, 8, rng=0), 30)
+        # Inserts of sampled non-edges and deletes of sampled edges are
+        # both effective, so |E| stays within the duplicate-collision slack.
+        assert abs(g.n_edges - 300) <= 30
+
+    def test_bad_sizes(self):
+        with pytest.raises(GraphError):
+            UniformChurnStream(-1, 2)
+
+
+class TestPreferentialGrowth:
+    def test_insert_only_growth(self):
+        g = make_graph()
+        batches = drive(g, PreferentialGrowthStream(6, rng=0), 10)
+        assert g.n_edges > 300
+        assert all(len(b.deletes) == 0 for b in batches)
+
+    def test_prefers_high_degree_endpoints(self):
+        from repro.graph.builder import from_edge_list
+
+        # A star: vertex 0 holds half the degree mass, so it should attract
+        # new edges at many times the mean per-vertex rate.
+        star = from_edge_list(
+            [(0, v) for v in range(1, 51)], labels=[0] * 100
+        )
+        g = MutableGraph(star)
+        drive(g, PreferentialGrowthStream(10, rng=1), 30)
+        snap = g.snapshot()
+        hub_gain = int(np.diff(snap.offsets)[0]) - 50
+        mean_gain = (snap.n_edges - 50) * 2 / g.n_vertices
+        assert hub_gain > 3 * mean_gain
+
+    def test_bad_sizes(self):
+        with pytest.raises(GraphError):
+            PreferentialGrowthStream(0)
+
+
+class TestSlidingWindow:
+    def test_expiry_after_window(self):
+        g = make_graph()
+        stream = SlidingWindowStream(5, window=3, rng=0)
+        inserted = []
+        for i in range(10):
+            batch = stream.next_batch(g)
+            g.apply(batch)
+            inserted.append(batch.inserts)
+            # Everything inserted more than `window` batches ago is gone.
+            for old in inserted[: max(0, i + 1 - 3)]:
+                for u, v in old:
+                    assert not g.has_edge(int(u), int(v))
+            # The most recent batch is present.
+            for u, v in inserted[-1]:
+                assert g.has_edge(int(u), int(v))
+
+    def test_steady_state_edge_count(self):
+        g = make_graph()
+        drive(g, SlidingWindowStream(5, window=4, rng=0), 20)
+        # Base edges are never expired; the stream's own live window holds
+        # at most window * edges_per_batch extras.
+        assert 300 <= g.n_edges <= 300 + 4 * 5
+
+    def test_bad_params(self):
+        with pytest.raises(GraphError):
+            SlidingWindowStream(0, window=2)
+        with pytest.raises(GraphError):
+            SlidingWindowStream(2, window=0)
+
+
+class TestEdgeReservoir:
+    def test_fills_then_caps(self):
+        res = EdgeReservoir(10, rng=0)
+        res.observe_batch(np.arange(6).reshape(3, 2))
+        assert res.n_seen == 3 and len(res.sample()) == 3
+        res.observe_batch(np.arange(40).reshape(20, 2))
+        assert res.n_seen == 23 and len(res.sample()) == 10
+
+    def test_sample_is_subset_of_stream(self):
+        res = EdgeReservoir(8, rng=1)
+        seen = [(i, i + 1) for i in range(100)]
+        res.observe_batch(np.asarray(seen))
+        assert set(map(tuple, res.sample().tolist())) <= set(seen)
+
+    def test_uniform_inclusion(self):
+        """Algorithm R: every stream position equally likely to survive."""
+        hits = np.zeros(50)
+        for seed in range(200):
+            res = EdgeReservoir(5, rng=seed)
+            res.observe_batch(np.stack([np.arange(50)] * 2, axis=1))
+            for u, _ in res.sample():
+                hits[int(u)] += 1
+        # Expected 20 hits per position; a late-biased or early-biased
+        # sampler fails this by an order of magnitude.
+        assert hits.min() > 5 and hits.max() < 45
+
+    def test_substream_isolation(self):
+        """A reservoir spawned from the same root seed as a stream must not
+        perturb the stream's draws (it uses a spawned child substream)."""
+        a, b = make_graph(), make_graph()
+        drive(a, UniformChurnStream(5, 5, rng=7), 12)
+        res = EdgeReservoir(16, rng=7)
+        drive(b, UniformChurnStream(5, 5, rng=7), 12, reservoir=res)
+        assert a.content_fingerprint() == b.content_fingerprint()
+        assert res.n_seen > 0
+
+    def test_reservoir_deterministic(self):
+        edges = np.stack([np.arange(80), np.arange(80) + 1], axis=1)
+        r1, r2 = EdgeReservoir(6, rng=5), EdgeReservoir(6, rng=5)
+        r1.observe_batch(edges)
+        r2.observe_batch(edges)
+        assert np.array_equal(r1.sample(), r2.sample())
+
+    def test_bad_capacity(self):
+        with pytest.raises(GraphError):
+            EdgeReservoir(0)

@@ -156,3 +156,86 @@ class TestDatasets:
         text = dataset_summary()
         for name in DATASET_ORDER:
             assert name in text
+
+
+class TestSeedDeterminism:
+    """Same seed => identical graph, across processes and hash seeds.
+
+    Mirrors test_sharding_equivalence.py's property style: determinism is
+    what lets the dynamic subsystem replay a (seed, base graph) pair into
+    an identical mutation history anywhere.
+    """
+
+    _SNIPPET = (
+        "from repro.graph.generators import erdos_renyi_graph, random_labels\n"
+        "g = erdos_renyi_graph(300, 450, rng=7,"
+        " labels=random_labels(300, 3, rng=8))\n"
+        "print(g.content_fingerprint())\n"
+    )
+
+    def _fingerprint_in_subprocess(self, hash_seed):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = hash_seed
+        out = subprocess.run(
+            [sys.executable, "-c", self._SNIPPET],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return out.stdout.strip()
+
+    def test_same_seed_identical_across_processes(self):
+        a = self._fingerprint_in_subprocess("0")
+        b = self._fingerprint_in_subprocess("424242")
+        assert a == b
+        # ... and identical to this process's build.
+        g = erdos_renyi_graph(
+            300, 450, rng=7, labels=random_labels(300, 3, rng=8)
+        )
+        assert g.content_fingerprint() == a
+
+    @pytest.mark.parametrize("seed", [0, 1, 9999])
+    def test_same_seed_same_graph_in_process(self, seed):
+        a = erdos_renyi_graph(200, 300, rng=seed)
+        b = erdos_renyi_graph(200, 300, rng=seed)
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.neighbors, b.neighbors)
+
+
+class TestSubstreamIndependence:
+    def test_spawned_substreams_are_distinct_and_reproducible(self):
+        from repro.utils.rng import as_generator, spawn_generators
+
+        children = spawn_generators(as_generator(123), 3)
+        draws = [g.integers(0, 1 << 30, size=200) for g in children]
+        # Distinct spawned substreams => distinct streams...
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not np.array_equal(draws[i], draws[j])
+        # ...yet the spawn itself is a pure function of the root seed.
+        again = spawn_generators(as_generator(123), 3)
+        for g, expected in zip(again, draws):
+            assert np.array_equal(g.integers(0, 1 << 30, size=200), expected)
+
+    def test_consuming_one_substream_leaves_siblings_untouched(self):
+        from repro.utils.rng import as_generator, spawn_generators
+
+        a1, b1 = spawn_generators(as_generator(7), 2)
+        a1.integers(0, 1 << 30, size=1000)  # burn stream a
+        burned = b1.integers(0, 1 << 30, size=100)
+        _, b2 = spawn_generators(as_generator(7), 2)
+        assert np.array_equal(burned, b2.integers(0, 1 << 30, size=100))
+
+    def test_uncorrelated_generator_outputs(self):
+        from repro.utils.rng import as_generator, spawn_generators
+
+        a, b = spawn_generators(as_generator(55), 2)
+        xa = a.standard_normal(4000)
+        xb = b.standard_normal(4000)
+        corr = float(np.corrcoef(xa, xb)[0, 1])
+        assert abs(corr) < 0.06

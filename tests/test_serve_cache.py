@@ -113,3 +113,94 @@ class TestPlanCache:
         cache.get_or_build(yeast, queries[0])
         cache.clear()
         assert len(cache) == 0 and cache.current_bytes == 0
+
+
+class TestPlanKeyContentFingerprint:
+    """Regression: graph_id=None must fall back to a *content* identity.
+
+    Two distinct graphs sharing name, vertex count, and edge count used to
+    collide (the old fallback was name+sizes only), silently serving one
+    graph's plan for the other."""
+
+    @staticmethod
+    def _twins():
+        from repro.graph.builder import from_edge_list
+
+        labels = [0, 1, 0, 1]
+        a = from_edge_list(
+            [(0, 1), (1, 2), (2, 3)], labels=labels, name="twin"
+        )
+        b = from_edge_list(
+            [(0, 1), (1, 3), (2, 3)], labels=labels, name="twin"
+        )
+        assert a.name == b.name
+        assert a.n_vertices == b.n_vertices and a.n_edges == b.n_edges
+        return a, b
+
+    def test_same_shape_different_content_distinct_keys(self):
+        a, b = self._twins()
+        q = QueryGraph.from_edges([0, 1], [(0, 1)])
+        assert plan_key(a, q) != plan_key(b, q)
+        assert plan_key(a, q) == plan_key(a, q)
+
+    def test_no_false_cache_hit_across_content_twins(self):
+        a, b = self._twins()
+        q = QueryGraph.from_edges([0, 1], [(0, 1)])
+        cache = PlanCache(max_bytes=1 << 30)
+        cache.get_or_build(a, q)
+        _, hit = cache.get_or_build(b, q)
+        assert not hit  # different edges => different plans, no collision
+
+
+class TestVersionedIds:
+    def test_parse_versioned_graph_id(self):
+        from repro.serve.cache import parse_versioned_graph_id
+
+        assert parse_versioned_graph_id("g@v3#0123456789abcdef") == ("g", 3)
+        assert parse_versioned_graph_id("g@v0") == ("g", 0)
+        assert parse_versioned_graph_id("a@v1@v2") == ("a@v1", 2)
+        for bad in ("static", "g@vx", "g@v-1", "g#abc", None):
+            assert parse_versioned_graph_id(bad) is None
+
+    def test_invalidate_evicts_only_older_versions(self, yeast, queries):
+        cache = PlanCache(max_bytes=1 << 30)
+        q = queries[0]
+        cache.get_or_build(yeast, q, graph_id="mut@v0#aa")
+        cache.get_or_build(yeast, q, graph_id="mut@v1#bb")
+        cache.get_or_build(yeast, q, graph_id="other@v0#cc")
+        cache.get_or_build(yeast, q, graph_id="static-graph")
+        assert cache.invalidate("mut", before_version=1) == 1
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["evictions_by_reason"]["version"] == 1
+        assert stats["evictions_by_reason"]["capacity"] == 0
+        # v1, the other graph, and the unversioned entry all survive.
+        _, hit = cache.get_or_build(yeast, q, graph_id="mut@v1#bb")
+        assert hit
+        _, hit = cache.get_or_build(yeast, q, graph_id="static-graph")
+        assert hit
+
+    def test_invalidate_all_versions(self, yeast, queries):
+        cache = PlanCache(max_bytes=1 << 30)
+        q = queries[0]
+        cache.get_or_build(yeast, q, graph_id="mut@v0#aa")
+        cache.get_or_build(yeast, q, graph_id="mut@v4#bb")
+        assert cache.invalidate("mut") == 2
+        assert len(cache) == 0
+
+    def test_put_replaces_same_key(self, yeast, queries):
+        cache = PlanCache(max_bytes=1 << 30)
+        q = queries[0]
+        plan, _ = cache.get_or_build(yeast, q, graph_id="mut@v0#aa")
+        assert cache.put(plan)  # idempotent re-install, no byte leak
+        assert cache.stats()["entries"] == 1
+        assert cache.current_bytes == plan.nbytes
+
+    def test_capacity_eviction_labelled(self, yeast, queries):
+        sizes = [build_plan(yeast, q).nbytes for q in queries[:3]]
+        cache = PlanCache(max_bytes=sum(sizes) - 1)
+        for q in queries[:3]:
+            cache.get_or_build(yeast, q)
+        stats = cache.stats()
+        assert stats["evictions_by_reason"]["capacity"] >= 1
+        assert stats["evictions_by_reason"]["version"] == 0
