@@ -18,6 +18,11 @@ Two subcommands make the system runnable without writing scripts:
   refresh vs full rebuild under seeded edge churn, verifying bit-identity
   at every checked version and measuring q-error, rows touched, and the
   staleness (version lag) of responses served between deferred refreshes;
+* ``repro soak-bench`` — the open-loop overload soak: seeded OVERLOAD
+  arrivals at a multiple of calibrated capacity through the admission
+  stack (bounded queue, per-tenant quotas, deadline shedding, hedging)
+  vs the unbounded baseline, gating zero stranded tickets, bounded
+  admitted p99, and goodput at least the baseline's;
 * ``repro trace-report`` — per-span time breakdown of a Chrome-trace JSON
   produced by ``repro estimate --trace-out`` (the same file loads in
   Perfetto / ``chrome://tracing``).
@@ -39,6 +44,7 @@ from repro.bench.dynamic import (
     DYN_SEED,
     run_dynamic_benchmark,
 )
+from repro.bench.overload import OVERLOAD_ROOT_SEED, run_overload_soak
 from repro.bench.reporting import render_table, save_results
 from repro.bench.serving import (
     DEFAULT_DATASETS,
@@ -195,6 +201,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=DYN_SEED, help="root scenario seed"
     )
     mut.add_argument(
+        "--no-save", action="store_true", help="do not write results/ JSON"
+    )
+
+    soak = sub.add_parser(
+        "soak-bench",
+        help="open-loop overload soak (admission, shedding, hedging)",
+    )
+    soak.add_argument(
+        "--requests", type=int, default=2000,
+        help="open-loop arrivals per configuration",
+    )
+    soak.add_argument(
+        "--overload-factor", type=float, default=2.0,
+        help="arrival rate as a multiple of calibrated capacity",
+    )
+    soak.add_argument(
+        "--seed", type=int, default=OVERLOAD_ROOT_SEED,
+        help="root seed (arrivals, tenants, faults)",
+    )
+    soak.add_argument(
+        "--quick", action="store_true",
+        help="CI scale: 400 arrivals and a shorter hedge phase",
+    )
+    soak.add_argument(
         "--no-save", action="store_true", help="do not write results/ JSON"
     )
 
@@ -438,6 +468,55 @@ def _cmd_mutate_bench(args: argparse.Namespace) -> int:
     return 0 if acceptance.get("passed") else 1
 
 
+def _cmd_soak_bench(args: argparse.Namespace) -> int:
+    payload = run_overload_soak(
+        n_requests=args.requests,
+        overload_factor=args.overload_factor,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    soak = payload["soak"]
+    rows = []
+    for label in ("shed", "baseline"):
+        run = soak[label]
+        rows.append([
+            label,
+            run["n_admitted"],
+            run["n_shed"],
+            f'{run["shed_rate"]:.2%}',
+            run["n_stranded"],
+            run["deadline_met"],
+            run["goodput_per_s"],
+            run["p99_admitted_ms"],
+        ])
+    print(render_table(
+        ["config", "admitted", "shed", "shed rate", "stranded",
+         "deadline met", "goodput/s", "p99 ms"],
+        rows,
+        title=(
+            f"Overload soak ({payload['n_requests']} arrivals at "
+            f"{soak['overload_factor']:.1f}x capacity, seed {payload['seed']})"
+        ),
+    ))
+    hedge = payload["hedge"]
+    print(f"\nhedging: {hedge['n_hedges_fired']} fired / "
+          f"{hedge['n_hedge_wins']} won over {hedge['n_rounds']} rounds, "
+          f"bit-identical={hedge['estimates_bit_identical']}, "
+          f"p99 {hedge['p99_unhedged_ms']:.4f} -> "
+          f"{hedge['p99_hedged_ms']:.4f} ms")
+    acceptance = payload["acceptance"]
+    verdict = "PASS" if acceptance.get("passed") else "FAIL"
+    print(f"\nacceptance: {verdict}")
+    for key, value in acceptance.items():
+        if isinstance(value, bool) and key != "passed":
+            print(f"  {key}: {value}")
+    if not args.no_save:
+        path = save_results("overload_soak", payload)
+        if path is not None:
+            print(f"\nresults written to {path}")
+    return 0 if acceptance.get("passed") else 1
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     payload = load_trace(args.trace)
     print(render_report(payload))
@@ -455,6 +534,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_chaos_bench(args)
         if args.command == "mutate-bench":
             return _cmd_mutate_bench(args)
+        if args.command == "soak-bench":
+            return _cmd_soak_bench(args)
         if args.command == "trace-report":
             return _cmd_trace_report(args)
     except ReproError as error:

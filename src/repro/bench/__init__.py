@@ -11,6 +11,12 @@ from repro.bench.harness import (
     TARGET_SAMPLES,
     run_method,
 )
+from repro.bench.overload import (
+    run_hedge_check,
+    run_open_loop,
+    run_overload_comparison,
+    run_overload_soak,
+)
 from repro.bench.reporting import render_series, render_table, save_results
 from repro.bench.serving import (
     build_request_pool,
@@ -44,4 +50,8 @@ __all__ = [
     "run_chaos_benchmark",
     "run_chaos_run",
     "reference_estimates",
+    "run_overload_soak",
+    "run_overload_comparison",
+    "run_open_loop",
+    "run_hedge_check",
 ]

@@ -55,7 +55,14 @@ from repro.gpu.memory import (
 from repro.gpu.profiler import KernelProfile, WarpProfile
 from repro.obs.trace import NO_TRACE, TraceRecorder
 from repro.query.matching_order import MatchingOrder
-from repro.utils.rng import RandomSource, as_generator, spawn_generators
+from repro.utils.rng import (
+    RandomSource,
+    as_generator,
+    clone_state,
+    generator_from_state,
+    spawn_generator_states,
+    spawn_generators,
+)
 
 #: Lane compute-op constants (multiples of ``GPUSpec.op_cycles``).
 _ITER_BASE_OPS = 12
@@ -231,18 +238,26 @@ class GSWORDEngine:
         n_samples: int,
         rng: RandomSource = None,
         collect_states: bool = False,
+        shard_offset: int = 0,
     ) -> GPURunResult:
         """Execute sampling until ``n_samples`` samples are *collected*.
 
         Collected samples are what the paper's sample budgets count: root
         tasks plus inherited continuations.  Without inheritance the two
         coincide.
+
+        ``shard_offset`` rotates the warp->shard assignment of a sharded
+        vectorized run (hedged re-executions land on different workers);
+        every warp owns its spawned RNG state, so the result is
+        bit-identical for any offset.
         """
         if n_samples <= 0:
             raise ConfigError("n_samples must be positive")
         tasks_per_warp = self.config.tasks_per_warp
         max_warps = math.ceil(n_samples / tasks_per_warp)
-        provider = self._vector_provider(cg, order, n_samples, rng, collect_states)
+        provider = self._vector_provider(
+            cg, order, n_samples, rng, collect_states, shard_offset
+        )
         warp_rngs = (
             spawn_generators(rng, max_warps) if provider is None else []
         )
@@ -408,6 +423,7 @@ class GSWORDEngine:
         n_samples: int,
         rng: RandomSource,
         collect_states: bool,
+        shard_offset: int = 0,
     ):
         """The vectorized wave executor when the config asks for it and a
         vector kernel covers the estimator; ``None`` means scalar."""
@@ -421,7 +437,8 @@ class GSWORDEngine:
         from repro.core.vectorized import VectorWarpProvider
 
         return VectorWarpProvider(
-            self, kernel_cls, cg, order, n_samples, rng, collect_states
+            self, kernel_cls, cg, order, n_samples, rng, collect_states,
+            shard_offset=shard_offset,
         )
 
     def _vector_kernel(self, kernel_cls, cg: CandidateGraph, order: MatchingOrder):
@@ -821,6 +838,29 @@ class RoundAttemptReport:
     errors: List[BaseException] = field(default_factory=list)
 
 
+@dataclass
+class HedgedRoundReport:
+    """Outcome of one hedged round (:meth:`EngineSession.run_round_hedged`).
+
+    ``extra_ms`` is the wall-clock the round took *beyond* the winner's own
+    kernel duration (the hedge delay when the hedge won) — the scheduler
+    charges it to the batch like fault backoff.  ``wasted_ms`` is the
+    loser's device occupancy until cancellation: spent on *another*
+    replica, so it is telemetry (goodput cost of hedging), not critical
+    path.
+    """
+
+    result: GPURunResult
+    hedged: bool = False
+    hedge_won: bool = False
+    extra_ms: float = 0.0
+    wasted_ms: float = 0.0
+    n_faults: int = 0
+    n_retries: int = 0
+    fault_ms: float = 0.0
+    errors: List[BaseException] = field(default_factory=list)
+
+
 class EngineSession:
     """Incremental (round-by-round) execution state for one query.
 
@@ -892,7 +932,10 @@ class EngineSession:
         return self._acc
 
     def run_round(
-        self, n_samples: int, collect_states: bool = False
+        self,
+        n_samples: int,
+        collect_states: bool = False,
+        watchdog_ms: Optional[float] = None,
     ) -> GPURunResult:
         """Run one sampling round and merge it into the session.
 
@@ -900,7 +943,9 @@ class EngineSession:
         scheduler co-schedules); read :meth:`result` for the cumulative
         view.  With a fault injector attached this is one *launch*: any
         injected or organic device failure raises before the commit, so the
-        session state is untouched by failed rounds.
+        session state is untouched by failed rounds.  ``watchdog_ms``
+        tightens the device watchdog for this round only (the serving
+        layer propagates a request's remaining deadline here).
         """
         rec = self.engine.recorder
         round_span = (
@@ -912,7 +957,9 @@ class EngineSession:
             else None
         )
         try:
-            round_result = self._attempt_round(n_samples, collect_states)
+            round_result = self._attempt_round(
+                n_samples, collect_states, watchdog_ms=watchdog_ms
+            )
         except BaseException as error:
             if round_span is not None:
                 self._trace_abort(error)
@@ -931,6 +978,7 @@ class EngineSession:
         n_samples: int,
         retry: RetryPolicy = RetryPolicy(),
         collect_states: bool = False,
+        watchdog_ms: Optional[float] = None,
     ) -> RoundAttemptReport:
         """Run one round, retrying transient device failures.
 
@@ -955,7 +1003,9 @@ class EngineSession:
         )
         while True:
             try:
-                round_result = self._attempt_round(n_samples, collect_states)
+                round_result = self._attempt_round(
+                    n_samples, collect_states, watchdog_ms=watchdog_ms
+                )
             except RECOVERABLE_ERRORS as error:
                 self.n_faults += 1
                 report_errors.append(error)
@@ -1019,16 +1069,233 @@ class EngineSession:
                 errors=report_errors,
             )
 
+    def run_round_hedged(
+        self,
+        n_samples: int,
+        hedge_delay_ms: float,
+        retry: Optional[RetryPolicy] = None,
+        collect_states: bool = False,
+        watchdog_ms: Optional[float] = None,
+    ) -> "HedgedRoundReport":
+        """Run one round with a backup request hedged onto another replica.
+
+        The straggler mitigation of "The Tail at Scale": if the primary
+        launch has not finished within ``hedge_delay_ms`` (the scheduler
+        passes a p99 of recent round durations), a second launch of the
+        *same* round fires with the warp->shard map rotated by one, and the
+        first completion wins; the loser is cancelled.
+
+        **Bit-identity.**  Both attempts replay one child state spawned
+        from the session root (the root advances exactly once, same as
+        :meth:`run_round`), and a warp's estimate depends only on its own
+        RNG stream — so the committed estimate is bit-identical to the
+        unhedged round no matter which attempt wins, and shard rotation
+        cannot perturb it either.  Fault injection still draws fresh per
+        *launch*, so the two attempts can fail independently — timing and
+        failure differ, values never do.  (Stall faults scale only the
+        round's cycle profile, post-result.)
+
+        Accounting: the winner's kernel time is the round's duration;
+        ``extra_ms`` (the hedge delay, when the hedge wins) extends the
+        critical path like fault backoff; the loser's overlapped occupancy
+        lands in ``wasted_ms`` (telemetry only).  If *both* attempts fail
+        the round falls back to :meth:`run_round_resilient` when ``retry``
+        is given — fresh substreams, preserving HT unbiasedness — else the
+        primary's error is raised.
+        """
+        if hedge_delay_ms < 0:
+            raise ConfigError("hedge_delay_ms must be non-negative")
+        rec = self.engine.recorder
+        round_span = (
+            rec.begin(
+                "engine.round", track="engine",
+                args={
+                    "round": self._rounds, "n_samples": n_samples,
+                    "hedge_delay_ms": hedge_delay_ms,
+                },
+            )
+            if rec.enabled
+            else None
+        )
+        state = spawn_generator_states(self._root, 1)[0]
+        primary: Optional[GPURunResult] = None
+        primary_err: Optional[BaseException] = None
+        try:
+            primary = self._attempt_round(
+                n_samples, collect_states,
+                rng=generator_from_state(clone_state(state)),
+                watchdog_ms=watchdog_ms,
+            )
+        except RECOVERABLE_ERRORS as error:
+            primary_err = error
+            if round_span is not None:
+                self._trace_abort(error)
+        except BaseException as error:
+            if round_span is not None:
+                rec.end(
+                    round_span,
+                    args={"status": "failed", "error": type(error).__name__},
+                )
+            raise
+        dur_p = primary.simulated_ms() if primary is not None else math.inf
+
+        if primary is not None and dur_p <= hedge_delay_ms:
+            # Primary beat the hedge trigger: identical to an unhedged round.
+            self._commit_round(primary)
+            if round_span is not None:
+                rec.end(round_span, args={"status": "ok", "hedged": False})
+            return HedgedRoundReport(result=primary, hedged=False)
+
+        # Hedge fires: same substream, rotated shard map (a different
+        # replica executes it when the engine is sharded).
+        shard_offset = 1 if self.engine.config.n_shards > 1 else 0
+        if rec.enabled:
+            rec.instant(
+                "hedge.fire", track="engine",
+                args={
+                    "round": self._rounds,
+                    "delay_ms": hedge_delay_ms,
+                    "shard_offset": shard_offset,
+                },
+            )
+        hedge: Optional[GPURunResult] = None
+        hedge_err: Optional[BaseException] = None
+        try:
+            hedge = self._attempt_round(
+                n_samples, collect_states,
+                rng=generator_from_state(clone_state(state)),
+                watchdog_ms=watchdog_ms,
+                shard_offset=shard_offset,
+            )
+        except RECOVERABLE_ERRORS as error:
+            hedge_err = error
+            if round_span is not None:
+                self._trace_abort(error)
+        except BaseException as error:
+            if round_span is not None:
+                rec.end(
+                    round_span,
+                    args={"status": "failed", "error": type(error).__name__},
+                )
+            raise
+        # Occupancy of each attempt on its replica (failed attempts hold
+        # the device for their abort charge).
+        occ_p = dur_p if primary is not None else self.abort_charge_ms(primary_err)
+        occ_h = (
+            hedge.simulated_ms()
+            if hedge is not None
+            else self.abort_charge_ms(hedge_err)
+        )
+        dur_h_total = hedge_delay_ms + occ_h if hedge is not None else math.inf
+        errors = [e for e in (primary_err, hedge_err) if e is not None]
+        self.n_faults += len(errors)
+
+        if primary is None and hedge is None:
+            # Both replicas failed.  The critical path burned until the
+            # slower failure was known; retries (if configured) draw fresh
+            # substreams, which keeps HT unbiased.
+            both_dead_ms = max(occ_p, hedge_delay_ms + occ_h)
+            self.fault_ms += both_dead_ms
+            if retry is not None:
+                try:
+                    report = self.run_round_resilient(
+                        n_samples, retry, collect_states,
+                        watchdog_ms=watchdog_ms,
+                    )
+                except BaseException:
+                    # Keep the hedge-phase failures visible to callers that
+                    # report per-kind fault metrics off the attempt log.
+                    self.last_attempt_errors = (
+                        errors + list(self.last_attempt_errors)
+                    )
+                    raise
+                all_errors = errors + list(report.errors)
+                self.last_attempt_errors = all_errors
+                if round_span is not None:
+                    rec.end(
+                        round_span,
+                        args={"status": "ok", "hedged": True,
+                              "n_faults": len(all_errors)},
+                    )
+                return HedgedRoundReport(
+                    result=report.result,
+                    hedged=True,
+                    hedge_won=False,
+                    extra_ms=0.0,
+                    wasted_ms=min(occ_p, occ_h),
+                    n_faults=report.n_faults + 2,
+                    n_retries=report.n_retries,
+                    fault_ms=report.fault_ms + both_dead_ms,
+                    errors=all_errors,
+                )
+            self.last_attempt_errors = errors
+            if round_span is not None:
+                rec.end(
+                    round_span,
+                    args={"status": "failed",
+                          "error": type(primary_err).__name__},
+                )
+            raise primary_err  # type: ignore[misc]
+
+        hedge_won = dur_h_total < dur_p
+        winner = hedge if hedge_won else primary
+        assert winner is not None
+        win_time = dur_h_total if hedge_won else dur_p
+        # Loser occupancy until the winner's completion cancels it.
+        if hedge_won:
+            wasted = min(occ_p, win_time)
+        else:
+            wasted = min(occ_h, max(0.0, win_time - hedge_delay_ms))
+        extra = win_time - winner.simulated_ms()
+        self.last_attempt_errors = errors
+        self._commit_round(winner)
+        if rec.enabled:
+            rec.instant(
+                "hedge.win", track="engine",
+                args={
+                    "winner": "hedge" if hedge_won else "primary",
+                    "win_ms": win_time,
+                    "wasted_ms": wasted,
+                },
+            )
+        if round_span is not None:
+            rec.end(
+                round_span,
+                args={"status": "ok", "hedged": True,
+                      "hedge_won": hedge_won, "n_faults": len(errors)},
+            )
+        return HedgedRoundReport(
+            result=winner,
+            hedged=True,
+            hedge_won=hedge_won,
+            extra_ms=extra,
+            wasted_ms=wasted,
+            n_faults=len(errors),
+            n_retries=0,
+            fault_ms=0.0,
+            errors=errors,
+        )
+
     # ------------------------------------------------------------------
     # Launch internals
     # ------------------------------------------------------------------
     def _attempt_round(
-        self, n_samples: int, collect_states: bool
+        self,
+        n_samples: int,
+        collect_states: bool,
+        rng: RandomSource = None,
+        watchdog_ms: Optional[float] = None,
+        shard_offset: int = 0,
     ) -> GPURunResult:
         """One kernel launch: injection, admission, execution, watchdog.
 
         Raises a typed error on any failure; returns the (uncommitted)
         round result on success.
+
+        ``rng`` overrides the default fresh-substream draw (the hedging
+        path replays one substream across two attempts); ``watchdog_ms``
+        tightens the device watchdog for this launch (deadline
+        propagation); ``shard_offset`` rotates the warp->shard map.
         """
         engine = self.engine
         device = engine.device
@@ -1061,10 +1328,12 @@ class EngineSession:
             # when this launch's round dispatches to it, exercising the
             # real death-detection path rather than a synthetic raise.
             engine._shard_executor().inject_crash(faults.launch_index)
-        round_rng = spawn_generators(self._root, 1)[0]
+        round_rng = (
+            rng if rng is not None else spawn_generators(self._root, 1)[0]
+        )
         round_result = engine.run(
             self.cg, self.order, n_samples, rng=round_rng,
-            collect_states=collect_states,
+            collect_states=collect_states, shard_offset=shard_offset,
         )
         if faults is not None and faults.stalls:
             # The hang model: the launch burns stall_factor× its cycle
@@ -1086,7 +1355,7 @@ class EngineSession:
                         "overrun_ms": overrun,
                     },
                 )
-        device.check_watchdog(round_result.simulated_ms())
+        device.check_watchdog(round_result.simulated_ms(), watchdog_ms)
         return round_result
 
     def _commit_round(self, round_result: GPURunResult) -> None:

@@ -669,6 +669,7 @@ class VectorWarpProvider:
         n_samples: int,
         rng: RandomSource,
         collect_states: bool,
+        shard_offset: int = 0,
     ) -> None:
         self.engine = engine
         self.kernel: VectorKernel = engine._vector_kernel(kernel_cls, cg, order)
@@ -683,17 +684,19 @@ class VectorWarpProvider:
             min(tpw, n_samples - w * tpw) for w in range(self.max_warps)
         ]
         self.n_shards = min(engine.config.n_shards, max(1, self.max_warps))
+        self.shard_offset = shard_offset % self.n_shards
         if self.n_shards > 1:
             executor = engine._shard_executor()
             self.results = executor.run_round(
-                self.kernel, self.params, self.states, self.guesses
+                self.kernel, self.params, self.states, self.guesses,
+                shard_offset=self.shard_offset,
             )
         else:
             self.results = self.runner.run_warps(self.states, self.guesses)
 
     def shard_of(self, w: int) -> int:
-        """Shard owning warp ``w`` (round-robin by warp index)."""
-        return w % self.n_shards
+        """Shard owning warp ``w`` (round-robin, hedges rotate the map)."""
+        return (w + self.shard_offset) % self.n_shards
 
     def warp(self, w: int, quota: int) -> WarpResult:
         if quota == self.guesses[w]:

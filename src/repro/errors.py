@@ -127,3 +127,44 @@ class ServiceTimeout(ServiceError):
     """Raised by :meth:`Ticket.result` when the wait timeout elapses before
     the response is ready — distinguishable from misuse ``ServiceError``\\ s
     so callers can retry/poll instead of treating it as a bug."""
+
+
+class ServiceClosed(ServiceError):
+    """Raised by :meth:`EstimationService.submit` once the service is
+    shutting down or closed.  Typed so clients can distinguish "resubmit
+    elsewhere" from a processing bug — and so a submission racing
+    ``stop(drain=False)``/``close()`` is *rejected* instead of queued into
+    a service that will never run it (the stranded-ticket race)."""
+
+
+class Overloaded(ServiceError):
+    """Raised at admission when the service sheds a request instead of
+    queueing it into unbounded latency.
+
+    ``reason`` says which limit fired (``"queue_full"``, ``"quota"``, or
+    ``"deadline"``); ``retry_after_ms`` is the service's simulated-ms hint
+    for when a resubmission is likely to be admitted (time for the bounded
+    queue to drain below its cap, for the tenant's token bucket to refill,
+    or for the backlog to shrink enough that the deadline becomes
+    feasible).  Every shed carries a positive hint — open-loop clients
+    back off instead of hammering an already saturated service.
+    """
+
+    def __init__(
+        self, message: str, reason: str, retry_after_ms: float,
+        tenant: str = "default",
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_ms = retry_after_ms
+        self.tenant = tenant
+
+
+class RequestCancelled(ServiceError):
+    """Raised by :meth:`Ticket.result` after the caller cancelled the
+    ticket — the ``"cancelled"`` terminal state.  Cancellation released the
+    request's admission slot, so the queue capacity it held is free."""
+
+    def __init__(self, request_id: str) -> None:
+        super().__init__(f"request {request_id} was cancelled by the caller")
+        self.request_id = request_id

@@ -23,6 +23,7 @@ Quickstart::
 """
 
 from repro.errors import DeviceFault, DeviceOOM, KernelTimeout, SimulationError
+from repro.faults.arrivals import OVERLOAD, POISSON, ArrivalPlan
 from repro.faults.injector import FaultInjector, fault_kind, maybe_injector
 from repro.faults.plan import (
     FAULT_KIND_ORDER,
@@ -35,6 +36,9 @@ from repro.faults.plan import (
 RECOVERABLE_DEVICE_ERRORS = (DeviceFault, SimulationError)
 
 __all__ = [
+    "ArrivalPlan",
+    "POISSON",
+    "OVERLOAD",
     "FaultKind",
     "FaultPlan",
     "LaunchFaults",

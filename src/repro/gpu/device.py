@@ -61,11 +61,23 @@ class DeviceModel:
         if nbytes > available:
             raise DeviceOOM(nbytes, max(0, available))
 
-    def check_watchdog(self, kernel_ms: float) -> None:
+    def check_watchdog(
+        self, kernel_ms: float, ceiling_ms: Optional[float] = None
+    ) -> None:
         """Abort a launch whose simulated duration exceeds the watchdog
-        ceiling (raises :class:`KernelTimeout`)."""
-        if self.watchdog_ms is not None and kernel_ms > self.watchdog_ms:
-            raise KernelTimeout(kernel_ms, self.watchdog_ms)
+        ceiling (raises :class:`KernelTimeout`).
+
+        ``ceiling_ms`` tightens the check for one launch — the serving
+        layer propagates a request's remaining deadline here so a round
+        that cannot finish in time aborts (and degrades) *now* instead of
+        burning the deadline and timing out late.  The effective ceiling is
+        the stricter of the device-wide watchdog and the per-launch budget.
+        """
+        effective = self.watchdog_ms
+        if ceiling_ms is not None:
+            effective = ceiling_ms if effective is None else min(effective, ceiling_ms)
+        if effective is not None and kernel_ms > effective:
+            raise KernelTimeout(kernel_ms, effective)
 
     def kernel_ms(
         self,

@@ -461,6 +461,44 @@ def registry_from_service_snapshot(
     for kind, count in (resilience.get("faults_by_kind") or {}).items():
         by_kind.labels(kind=kind).inc(float(count))
 
+    admission = snap.get("admission")
+    if isinstance(admission, Mapping):
+        shed = reg.counter(
+            "admission_shed_total", "Requests shed at admission by reason",
+            labels=("reason",),
+        )
+        for reason, count in (admission.get("shed_by_reason") or {}).items():
+            shed.labels(reason=str(reason)).inc(float(count))
+        reg.counter(
+            "requests_cancelled_total", "Requests cancelled by their caller"
+        ).inc(float(admission.get("n_cancelled", 0)))
+        retry_after = reg.gauge(
+            "retry_after_ms", "Retry-after hints on shed requests "
+            "(simulated ms)", labels=("stat",),
+        )
+        _fill_histogram(retry_after, admission.get("retry_after_ms") or {})
+    if "queue_depth" in snap:
+        reg.gauge(
+            "queue_depth", "Live queued rounds + unadmitted arrivals"
+        ).set(float(snap["queue_depth"]))
+
+    hedging = snap.get("hedging")
+    if isinstance(hedging, Mapping):
+        hedge_events = reg.counter(
+            "hedge_events_total", "Straggler-hedging events",
+            labels=("event",),
+        )
+        hedge_events.labels(event="fired").inc(
+            float(hedging.get("n_hedges", 0))
+        )
+        hedge_events.labels(event="won").inc(
+            float(hedging.get("n_hedge_wins", 0))
+        )
+        reg.gauge(
+            "hedge_wasted_ms",
+            "Overlapped device occupancy of cancelled hedge losers",
+        ).set(float(hedging.get("hedge_wasted_ms", 0.0)))
+
     cache = snap.get("cache")
     if isinstance(cache, Mapping):
         cache_gauge = reg.gauge(

@@ -24,6 +24,16 @@ Quickstart::
     print(service.metrics_snapshot())
 """
 
+from repro.errors import Overloaded, RequestCancelled, ServiceClosed
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    HedgeDelayTracker,
+    HedgePolicy,
+    ShedDecision,
+    TenantQuota,
+    TokenBucket,
+)
 from repro.serve.breaker import BreakerPolicy, BreakerState, CircuitBreaker
 from repro.serve.cache import (
     CachedPlan,
@@ -44,7 +54,12 @@ from repro.serve.request import (
     estimator_name,
     resolve_estimator,
 )
-from repro.serve.scheduler import BatchResult, BatchScheduler, RoundTask
+from repro.serve.scheduler import (
+    BatchResult,
+    BatchScheduler,
+    FairQueue,
+    RoundTask,
+)
 from repro.serve.service import EstimationService, ServiceConfig, Ticket
 
 __all__ = [
@@ -72,4 +87,15 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "REASON_FALLBACK",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "TenantQuota",
+    "TokenBucket",
+    "ShedDecision",
+    "HedgePolicy",
+    "HedgeDelayTracker",
+    "FairQueue",
+    "Overloaded",
+    "RequestCancelled",
+    "ServiceClosed",
 ]

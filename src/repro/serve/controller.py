@@ -157,6 +157,23 @@ class AdaptiveBudgetController:
                 want = min(want, fit)
         return max(1, want)
 
+    def round_watchdog_ms(self, elapsed_ms: float) -> Optional[float]:
+        """Remaining deadline budget for the next round, as a per-launch
+        watchdog ceiling (``None`` = unconstrained).
+
+        Mirrors :meth:`next_round_samples`'s first-round-always-runs rule:
+        the first round is never constrained, so every response carries at
+        least minimal evidence.  After that, a round whose simulated
+        duration would overrun the request's remaining deadline aborts at
+        the ceiling (``KernelTimeout``) instead of burning device time past
+        a deadline nobody is waiting on — the end of the deadline
+        propagation chain (admission -> round sizing -> launch watchdog).
+        """
+        if self.request.deadline_ms is None or self.n_rounds == 0:
+            return None
+        remaining = self.request.deadline_ms - elapsed_ms
+        return remaining if remaining > 0 else None
+
     def _desired_round(self) -> int:
         pol = self.policy
         if self.n_rounds == 0:

@@ -139,6 +139,18 @@ class ServiceMetrics:
     n_plan_refreshes: int = 0
     n_plan_invalidations: int = 0
     n_plans_invalidated: int = 0
+    # Overload / admission counters (repro.serve.admission): requests shed
+    # at submission (by reason), the retry-after hints handed back with
+    # them, and caller-side cancellations that released their slots.
+    n_shed: int = 0
+    shed_by_reason: Dict[str, int] = field(default_factory=dict)
+    retry_after: LatencyHistogram = field(default_factory=LatencyHistogram)
+    n_cancelled: int = 0
+    # Hedging counters: hedges fired, hedges whose backup won, and the
+    # losers' overlapped (wasted) device occupancy.
+    n_hedges: int = 0
+    n_hedge_wins: int = 0
+    hedge_wasted_ms: float = 0.0
 
     # ------------------------------------------------------------------
     def record_submit(self, queue_depth: int) -> None:
@@ -210,6 +222,25 @@ class ServiceMetrics:
         """The background worker survived an unexpected processing error."""
         self.n_worker_crashes += 1
 
+    # Overload / admission ----------------------------------------------
+    def record_shed(self, reason: str, retry_after_ms: float) -> None:
+        """One request rejected at admission with a retry-after hint."""
+        self.n_shed += 1
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+        self.retry_after.add(retry_after_ms)
+
+    def record_cancelled(self) -> None:
+        """One in-flight request cancelled by its caller."""
+        self.n_cancelled += 1
+
+    def record_hedges(
+        self, n_hedges: int, n_wins: int, wasted_ms: float
+    ) -> None:
+        """Fold one batch's hedging bill in."""
+        self.n_hedges += n_hedges
+        self.n_hedge_wins += n_wins
+        self.hedge_wasted_ms += wasted_ms
+
     # Dynamic-graph plan lifecycle --------------------------------------
     def record_plan_refresh(self) -> None:
         """One delta-refreshed plan was installed into the cache."""
@@ -262,6 +293,17 @@ class ServiceMetrics:
             },
             "latency_ms": self.latency.snapshot(),
             "queue_wait_ms": self.queue_wait.snapshot(),
+            "admission": {
+                "n_shed": self.n_shed,
+                "shed_by_reason": dict(self.shed_by_reason),
+                "n_cancelled": self.n_cancelled,
+                "retry_after_ms": self.retry_after.snapshot(),
+            },
+            "hedging": {
+                "n_hedges": self.n_hedges,
+                "n_hedge_wins": self.n_hedge_wins,
+                "hedge_wasted_ms": self.hedge_wasted_ms,
+            },
             "resilience": {
                 "n_faults": self.n_faults,
                 "n_retries": self.n_retries,

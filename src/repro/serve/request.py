@@ -86,6 +86,10 @@ class EstimateRequest:
             when omitted it is parsed from a versioned ``graph_id``.  Echoed
             on the response so callers can detect stale answers.
         request_id: caller-supplied tag; the service assigns one if empty.
+        tenant: admission-control principal the request is billed to.
+            Token-bucket quotas and weighted-fair queueing (see
+            :class:`~repro.serve.admission.AdmissionPolicy`) key on it;
+            irrelevant unless the service has an admission policy.
     """
 
     graph: CSRGraph
@@ -97,10 +101,13 @@ class EstimateRequest:
     graph_id: Optional[str] = None
     graph_version: Optional[int] = None
     request_id: str = ""
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if not (0.0 < self.target_rel_ci < math.inf):
             raise ServiceError("target_rel_ci must be positive and finite")
+        if not self.tenant:
+            raise ServiceError("tenant must be a non-empty string")
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ServiceError("deadline_ms must be positive when given")
         if self.max_samples <= 0:

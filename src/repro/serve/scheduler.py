@@ -26,9 +26,11 @@ any single admission can claim.
 
 from __future__ import annotations
 
+import itertools
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.engine import (
     RECOVERABLE_ERRORS,
@@ -48,16 +50,27 @@ class RoundTask:
 
     ``payload`` is opaque to the scheduler (the service stores its pending-
     request record there).  ``retry`` enables in-round retry of transient
-    device faults (``None`` = fail fast, the pre-resilience behaviour)."""
+    device faults (``None`` = fail fast, the pre-resilience behaviour).
+    ``tenant``/``weight`` drive weighted-fair queueing in
+    :class:`FairQueue`; ``watchdog_ms`` tightens this round's launch
+    watchdog (deadline propagation); ``hedge_delay_ms`` arms straggler
+    hedging for the round (see
+    :meth:`~repro.core.engine.EngineSession.run_round_hedged`)."""
 
     session: EngineSession
     n_samples: int
     payload: object = None
     retry: Optional[RetryPolicy] = None
+    tenant: str = "default"
+    weight: float = 1.0
+    watchdog_ms: Optional[float] = None
+    hedge_delay_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_samples <= 0:
             raise ServiceError("a round task needs a positive sample count")
+        if self.weight <= 0:
+            raise ServiceError("a round task's tenant weight must be positive")
 
     def est_warps(self) -> int:
         """Warps this round will launch (the admission currency)."""
@@ -65,6 +78,91 @@ class RoundTask:
             1,
             math.ceil(self.n_samples / self.session.engine.config.tasks_per_warp),
         )
+
+
+class FairQueue:
+    """Weighted-fair round-task queue: stride scheduling over tenants.
+
+    Each tenant gets its own FIFO lane and a *pass* value that advances by
+    ``est_warps / weight`` per task it dequeues — so dequeue order
+    interleaves tenants proportionally to their weights in device-warp
+    currency, and a hot tenant that floods its lane cannot starve the
+    others: its pass races ahead and the scheduler serves everyone else
+    first.  A tenant (re)activating with an empty lane starts at the
+    queue's virtual time (``max`` of its old pass and the last-served
+    pass), so sleeping never banks credit.
+
+    The surface is deque-compatible — ``q[0]`` (peek, consistent with the
+    next ``popleft``), ``popleft()``, ``len``, truthiness, iteration — so
+    :meth:`BatchScheduler.form_batch` consumes either interchangeably.
+    With a single tenant the pass values cancel out and the order is exact
+    FIFO (bit-compatible with the plain deque it replaces).
+    """
+
+    def __init__(self) -> None:
+        self._lanes: Dict[str, Deque[Tuple[int, RoundTask]]] = {}
+        self._pass: Dict[str, float] = {}
+        self._vtime = 0.0
+        self._seq = itertools.count()
+
+    def append(self, task: RoundTask) -> None:
+        lane = self._lanes.get(task.tenant)
+        if lane is None:
+            lane = self._lanes[task.tenant] = deque()
+        if not lane:
+            self._pass[task.tenant] = max(
+                self._pass.get(task.tenant, 0.0), self._vtime
+            )
+        lane.append((next(self._seq), task))
+
+    def _select(self) -> Optional[str]:
+        """Tenant owning the next task: min pass, FIFO seq as tie-break."""
+        best_key: Optional[Tuple[float, int]] = None
+        best_tenant: Optional[str] = None
+        for tenant, lane in self._lanes.items():
+            if not lane:
+                continue
+            key = (self._pass[tenant], lane[0][0])
+            if best_key is None or key < best_key:
+                best_key = key
+                best_tenant = tenant
+        return best_tenant
+
+    def __getitem__(self, index: int) -> RoundTask:
+        if index != 0:
+            raise IndexError("FairQueue only supports peeking the head")
+        tenant = self._select()
+        if tenant is None:
+            raise IndexError("peek from an empty FairQueue")
+        return self._lanes[tenant][0][1]
+
+    def popleft(self) -> RoundTask:
+        tenant = self._select()
+        if tenant is None:
+            raise IndexError("pop from an empty FairQueue")
+        self._vtime = self._pass[tenant]
+        _, task = self._lanes[tenant].popleft()
+        self._pass[tenant] += task.est_warps() / task.weight
+        return task
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def __bool__(self) -> bool:
+        return any(self._lanes.values())
+
+    def __iter__(self) -> Iterator[RoundTask]:
+        for lane in self._lanes.values():
+            for _, task in lane:
+                yield task
+
+    def clear(self) -> None:
+        for lane in self._lanes.values():
+            lane.clear()
+
+
+#: What the scheduler can drain: the plain FIFO deque or the WFQ.
+TaskQueue = Union[Deque[RoundTask], FairQueue]
 
 
 @dataclass
@@ -88,6 +186,13 @@ class BatchResult:
     n_faults: int = 0
     n_retries: int = 0
     fault_kinds: List[str] = field(default_factory=list)
+    #: Hedging bill: fired hedges, hedge wins, critical-path delay charged
+    #: into ``batch_ms`` (the hedge delay when the backup won), and the
+    #: losers' overlapped occupancy (telemetry, not critical path).
+    n_hedges: int = 0
+    n_hedge_wins: int = 0
+    hedge_extra_ms: float = 0.0
+    hedge_wasted_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.failures:
@@ -137,11 +242,12 @@ class BatchScheduler:
         self.device = DeviceModel(self.spec)
 
     # ------------------------------------------------------------------
-    def form_batch(self, queue: Deque[RoundTask]) -> List[RoundTask]:
-        """Pop a FIFO prefix of ``queue`` that fills the device(s).
+    def form_batch(self, queue: TaskQueue) -> List[RoundTask]:
+        """Pop a prefix of ``queue`` that fills the device(s).
 
-        Always admits at least one task (a single round larger than the
-        device simply runs as a saturating launch)."""
+        ``queue`` is FIFO when a plain deque, weighted-fair when a
+        :class:`FairQueue`.  Always admits at least one task (a single
+        round larger than the device simply runs as a saturating launch)."""
         warp_cap = int(
             self.spec.resident_warps * self.warp_overcommit * self.n_shards
         )
@@ -180,6 +286,10 @@ class BatchScheduler:
         n_faults = 0
         n_retries = 0
         fault_kinds: List[str] = []
+        n_hedges = 0
+        n_hedge_wins = 0
+        hedge_extra_ms = 0.0
+        hedge_wasted_ms = 0.0
         for task in tasks:
             session = task.session
             # Snapshot the session's fault bill so the failure path can
@@ -189,9 +299,28 @@ class BatchScheduler:
             pre_faults = session.n_faults
             pre_retries = session.n_retries
             try:
-                if task.retry is not None:
+                if task.hedge_delay_ms is not None:
+                    hreport = session.run_round_hedged(
+                        task.n_samples,
+                        task.hedge_delay_ms,
+                        retry=task.retry,
+                        watchdog_ms=task.watchdog_ms,
+                    )
+                    fault_ms += hreport.fault_ms
+                    n_faults += hreport.n_faults
+                    n_retries += hreport.n_retries
+                    fault_kinds.extend(fault_kind(e) for e in hreport.errors)
+                    if hreport.hedged:
+                        n_hedges += 1
+                        hedge_extra_ms += hreport.extra_ms
+                        hedge_wasted_ms += hreport.wasted_ms
+                        if hreport.hedge_won:
+                            n_hedge_wins += 1
+                    results.append(hreport.result)
+                elif task.retry is not None:
                     report = session.run_round_resilient(
-                        task.n_samples, task.retry
+                        task.n_samples, task.retry,
+                        watchdog_ms=task.watchdog_ms,
                     )
                     fault_ms += report.fault_ms
                     n_faults += report.n_faults
@@ -199,21 +328,25 @@ class BatchScheduler:
                     fault_kinds.extend(fault_kind(e) for e in report.errors)
                     results.append(report.result)
                 else:
-                    results.append(session.run_round(task.n_samples))
+                    results.append(
+                        session.run_round(
+                            task.n_samples, watchdog_ms=task.watchdog_ms
+                        )
+                    )
                 failures.append(None)
             except RECOVERABLE_ERRORS as error:
                 fault_ms += session.fault_ms - pre_fault_ms
                 n_faults += session.n_faults - pre_faults
                 n_retries += session.n_retries - pre_retries
-                if task.retry is None:
+                if task.retry is None and task.hedge_delay_ms is None:
                     # Fail-fast rounds bypass the session's bookkeeping;
                     # bill the single aborted attempt here.
                     n_faults += 1
                     fault_ms += session.abort_charge_ms(error)
                     fault_kinds.append(fault_kind(error))
                 else:
-                    # The resilient path recorded every attempt's error
-                    # (including the one that exhausted the retries).
+                    # The resilient/hedged paths recorded every attempt's
+                    # error (including the one that exhausted the retries).
                     fault_kinds.extend(
                         fault_kind(e) for e in session.last_attempt_errors
                     )
@@ -227,7 +360,7 @@ class BatchScheduler:
             )
             if ok
             else self.spec.launch_overhead_ms
-        ) + fault_ms
+        ) + fault_ms + hedge_extra_ms
         return BatchResult(
             tasks=tasks,
             round_results=results,
@@ -239,9 +372,13 @@ class BatchScheduler:
             n_faults=n_faults,
             n_retries=n_retries,
             fault_kinds=fault_kinds,
+            n_hedges=n_hedges,
+            n_hedge_wins=n_hedge_wins,
+            hedge_extra_ms=hedge_extra_ms,
+            hedge_wasted_ms=hedge_wasted_ms,
         )
 
-    def run_tick(self, queue: Deque[RoundTask]) -> Optional[BatchResult]:
+    def run_tick(self, queue: TaskQueue) -> Optional[BatchResult]:
         """One scheduling tick: form a batch from ``queue`` and execute it.
         Returns ``None`` when the queue is empty."""
         batch = self.form_batch(queue)

@@ -36,7 +36,13 @@ from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.core.config import EngineConfig
 from repro.core.engine import GSWORDEngine, RetryPolicy
-from repro.errors import ServiceError, ServiceTimeout
+from repro.errors import (
+    Overloaded,
+    RequestCancelled,
+    ServiceClosed,
+    ServiceError,
+    ServiceTimeout,
+)
 from repro.estimators.base import RSVEstimator
 from repro.estimators.cpu_runner import CPUSamplingRunner
 from repro.estimators.ht import HTAccumulator
@@ -46,6 +52,12 @@ from repro.gpu.device import DeviceModel
 from repro.gpu.profiler import KernelProfile
 from repro.obs.registry import MetricsRegistry, registry_from_service_snapshot
 from repro.obs.trace import NO_TRACE, TraceRecorder
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    HedgeDelayTracker,
+    HedgePolicy,
+)
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker
 from repro.serve.cache import (
     CachedPlan,
@@ -61,7 +73,7 @@ from repro.serve.request import (
     estimator_name,
     resolve_estimator,
 )
-from repro.serve.scheduler import BatchScheduler, RoundTask
+from repro.serve.scheduler import BatchScheduler, FairQueue, RoundTask
 from repro.utils.rng import derive_seed
 
 
@@ -100,6 +112,20 @@ class ServiceConfig:
             kernel launch on one service-owned recorder shared by all
             engines.  Also enabled when ``engine_config.trace`` asks for
             tracing; off by default (the zero-cost path).
+        admission: bounded-admission policy (queue bound, per-tenant token
+            buckets, deadline-infeasibility shedding); ``None`` keeps the
+            legacy unbounded front door.  With a policy set, ``submit``
+            may raise :class:`~repro.errors.Overloaded` with a computed
+            ``retry_after_ms`` hint, and queued rounds are drained
+            weighted-fair across tenants instead of global FIFO.
+        hedge: straggler-hedging policy; ``None`` disables hedging.  When
+            set, rounds are hedged onto a rotated shard assignment after a
+            p99-based delay — bit-identical estimates, shorter tails.
+        propagate_deadline: thread each request's remaining deadline into
+            its rounds as a per-launch watchdog ceiling, so a round that
+            cannot finish in time aborts (and degrades) instead of burning
+            device time past the deadline.  Off by default: it changes
+            when deadline-bound requests degrade, so it is opt-in.
     """
 
     spec: GPUSpec = DEFAULT_GPU
@@ -118,13 +144,19 @@ class ServiceConfig:
     cpu_fallback: bool = True
     fallback_threads: int = 0
     trace: bool = False
+    admission: Optional[AdmissionPolicy] = None
+    hedge: Optional[HedgePolicy] = None
+    propagate_deadline: bool = False
 
 
 class Ticket:
     """Handle a submitter blocks on until its response is ready."""
 
-    def __init__(self, request_id: str) -> None:
+    def __init__(
+        self, request_id: str, service: "Optional[EstimationService]" = None
+    ) -> None:
         self.request_id = request_id
+        self._service = service
         self._event = threading.Event()
         self._response: Optional[EstimateResponse] = None
         self._error: Optional[BaseException] = None
@@ -137,7 +169,10 @@ class Ticket:
 
         Raises :class:`ServiceTimeout` when ``timeout`` (wall-clock seconds)
         elapses first — distinguishable from a processing failure, which
-        re-raises the original error."""
+        re-raises the original error.  A caller abandoning the request
+        after a timeout should :meth:`cancel` it, or its pending entry
+        keeps consuming admission capacity until the service processes it.
+        """
         if not self._event.wait(timeout):
             raise ServiceTimeout(
                 f"request {self.request_id} not done within {timeout}s"
@@ -147,12 +182,33 @@ class Ticket:
         assert self._response is not None
         return self._response
 
-    # Internal completion hooks -----------------------------------------
+    def cancel(self) -> bool:
+        """Cancel the request if it has not completed (thread-safe).
+
+        Releases the request's admission slot immediately: queued rounds
+        are dropped lazily, the pending entry leaves the live count, and
+        any later :meth:`result` call raises
+        :class:`~repro.errors.RequestCancelled` (the ``"cancelled"``
+        terminal state).  Returns ``True`` if this call cancelled the
+        request, ``False`` if it was already terminal (completed, failed,
+        or previously cancelled) — in-flight rounds are not interrupted,
+        but their results are discarded.
+        """
+        if self._service is None or self._event.is_set():
+            return False
+        return self._service._cancel_ticket(self)
+
+    # Internal completion hooks (idempotent: first terminal state wins,
+    # so a cancel racing a completion never flips an answered ticket) ----
     def _complete(self, response: EstimateResponse) -> None:
+        if self._event.is_set():
+            return
         self._response = response
         self._event.set()
 
     def _fail(self, error: BaseException) -> None:
+        if self._event.is_set():
+            return
         self._error = error
         self._event.set()
 
@@ -175,6 +231,9 @@ class _Pending:
     override_acc: Optional[HTAccumulator] = None  # fallback-combined evidence
     graph_version: Optional[int] = None  # versioned-graph requests only
     extras: Dict[str, object] = field(default_factory=dict)
+    tenant: str = "default"
+    cancelled: bool = False  # terminal; queued rounds are dropped lazily
+    n_hedges_armed: int = 0  # rounds armed with a hedge (per-request cap)
 
 
 class EstimationService:
@@ -220,9 +279,13 @@ class EstimationService:
         # multi-device round time, for the unified metrics namespace.
         self._kernel_profile = KernelProfile()
         self._multidev_ms = 0.0
-        self._queue: Deque[RoundTask] = deque()
+        # Weighted-fair across tenants; exact FIFO with a single tenant
+        # (bit-compatible with the plain deque it replaced).
+        self._queue: FairQueue = FairQueue()
         self._arrivals: Deque[_Pending] = deque()
-        self._lock = threading.Lock()
+        # Re-entrant so queue_depth() can lock both from client threads and
+        # from paths that already hold the service lock (submit/admission).
+        self._lock = threading.RLock()
         self._wakeup = threading.Condition(self._lock)
         self._clock_ms = 0.0
         self._ids = itertools.count(1)
@@ -232,6 +295,21 @@ class EstimationService:
         self._inflight: List[RoundTask] = []
         self._worker: Optional[threading.Thread] = None
         self._stopping = False
+        self._closed = False
+        # Live (non-terminal) requests by id — the admission currency and
+        # the cancel/shutdown sweep set.  Entries leave on every terminal
+        # transition (complete, fail, cancel, close).
+        self._pending_by_id: Dict[str, _Pending] = {}
+        self._admission: Optional[AdmissionController] = (
+            AdmissionController(config.admission)
+            if config.admission is not None
+            else None
+        )
+        self._hedge_tracker: Optional[HedgeDelayTracker] = (
+            HedgeDelayTracker(config.hedge)
+            if config.hedge is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Client API
@@ -242,33 +320,94 @@ class EstimationService:
         return self._clock_ms
 
     def submit(self, request: EstimateRequest) -> Ticket:
-        """Enqueue a request (thread-safe); returns its :class:`Ticket`."""
+        """Enqueue a request (thread-safe); returns its :class:`Ticket`.
+
+        Raises :class:`~repro.errors.ServiceClosed` once the service is
+        stopping or closed — rejected *before* a ticket exists, so a
+        shutdown race can never strand a caller on a ticket nothing will
+        ever complete.  With an admission policy configured, may raise
+        :class:`~repro.errors.Overloaded` (queue bound, tenant quota, or
+        deadline infeasibility) carrying a ``retry_after_ms`` hint.
+        """
         estimator = resolve_estimator(request.estimator)
         with self._wakeup:
+            if self._closed:
+                raise ServiceClosed(
+                    "service is closed; submission rejected"
+                )
             if self._stopping:
-                raise ServiceError("service is stopping; not accepting requests")
+                raise ServiceClosed(
+                    "service is stopping; not accepting requests"
+                )
+            if self._admission is not None:
+                decision = self._admission.decide(
+                    request.tenant,
+                    request.deadline_ms,
+                    self._live_depth_locked(),
+                    self._clock_ms,
+                )
+                if decision is not None:
+                    self.metrics.record_shed(
+                        decision.reason, decision.retry_after_ms
+                    )
+                    if self.recorder.enabled:
+                        self.recorder.instant(
+                            "overload.shed", track="serve",
+                            sim_ms=self._clock_ms,
+                            args={
+                                "reason": decision.reason,
+                                "tenant": decision.tenant,
+                                "retry_after_ms": decision.retry_after_ms,
+                                "queue_depth": self._live_depth_locked(),
+                            },
+                        )
+                    raise Overloaded(
+                        f"request shed ({decision.reason}); retry after "
+                        f"{decision.retry_after_ms:.3f} simulated ms",
+                        reason=decision.reason,
+                        retry_after_ms=decision.retry_after_ms,
+                        tenant=decision.tenant,
+                    )
             request_id = request.request_id or f"req-{next(self._ids)}"
-            ticket = Ticket(request_id)
+            ticket = Ticket(request_id, service=self)
             pending = _Pending(
                 request=request,
                 ticket=ticket,
                 estimator=estimator,
                 arrival_ms=self._clock_ms,
                 controller=AdaptiveBudgetController(request, self.config.policy),
+                tenant=request.tenant,
             )
             self._arrivals.append(pending)
-            self.metrics.record_submit(self.queue_depth())
+            self._pending_by_id[request_id] = pending
+            self.metrics.record_submit(self._live_depth_locked())
             if self.recorder.enabled:
                 self.recorder.instant(
                     "request.submit", track="serve",
                     sim_ms=self._clock_ms,
                     args={
                         "request_id": request_id,
-                        "queue_depth": self.queue_depth(),
+                        "tenant": request.tenant,
+                        "queue_depth": self._live_depth_locked(),
                     },
                 )
             self._wakeup.notify()
         return ticket
+
+    def advance_clock(self, now_ms: float) -> None:
+        """Advance the simulated clock to ``now_ms`` if it is ahead.
+
+        Open-loop drivers (the overload soak bench) call this between
+        arrivals to model idle wall time the device spends waiting for
+        traffic — token buckets refill against the advanced clock and
+        arrival timestamps land where the arrival plan scheduled them.
+        Monotone: a ``now_ms`` at or behind the clock is a no-op, so batch
+        time and arrival time compose on one axis.
+        """
+        with self._wakeup:
+            if now_ms > self._clock_ms:
+                self._clock_ms = now_ms
+                self._wakeup.notify()
 
     def estimate(self, request: EstimateRequest) -> EstimateResponse:
         """Submit one request and process until its response is ready."""
@@ -290,7 +429,33 @@ class EstimationService:
         return [ticket.result() for ticket in tickets]
 
     def queue_depth(self) -> int:
-        return len(self._queue) + len(self._arrivals)
+        """Live (non-cancelled) queued rounds + unadmitted arrivals."""
+        with self._lock:
+            return self._live_depth_locked()
+
+    def _live_depth_locked(self) -> int:
+        live = sum(1 for task in self._queue if not task.payload.cancelled)
+        live += sum(1 for p in self._arrivals if not p.cancelled)
+        return live
+
+    def _cancel_ticket(self, ticket: Ticket) -> bool:
+        """Terminal-state transition for :meth:`Ticket.cancel`."""
+        with self._wakeup:
+            pending = self._pending_by_id.pop(ticket.request_id, None)
+            if pending is None or ticket.done():
+                return False
+            pending.cancelled = True
+            self.metrics.record_cancelled()
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "request.cancelled", track="serve", sim_ms=self._clock_ms,
+                    args={
+                        "request_id": ticket.request_id,
+                        "tenant": pending.tenant,
+                    },
+                )
+            ticket._fail(RequestCancelled(ticket.request_id))
+        return True
 
     def metrics_snapshot(self) -> Dict[str, object]:
         """Service + cache metrics as one plain dict (bench/CLI surface)."""
@@ -305,6 +470,14 @@ class EstimationService:
         snap["faults_injected"] = (
             self.injector.stats() if self.injector else {"enabled": False}
         )
+        snap["admission_state"] = (
+            self._admission.snapshot()
+            if self._admission is not None
+            else {"enabled": False}
+        )
+        if self._hedge_tracker is not None:
+            snap["hedge_delay_ms"] = self._hedge_tracker.hedge_delay_ms()
+            snap["hedge_rounds_observed"] = self._hedge_tracker.n_observed
         # Device-side kernel telemetry folded across every committed round:
         # the Figure-5 stall summary and the cumulative multi-device time.
         snap["stall"] = self._kernel_profile.stall_summary()
@@ -384,11 +557,16 @@ class EstimationService:
         rec = self.recorder
         with self._lock:
             self._admit_arrivals_locked()
-            batch = self.scheduler.form_batch(self._queue)
+            formed = self.scheduler.form_batch(self._queue)
+            # Cancelled requests' rounds are dropped here (lazy removal —
+            # the queue is never searched, the tick just skips them).
+            batch = [t for t in formed if not t.payload.cancelled]
             self._inflight = batch
             clock0 = self._clock_ms
         if not batch:
-            return False
+            # True when the tick did work (dequeued cancelled rounds) even
+            # though nothing ran — the drain loop must keep going.
+            return bool(formed)
         batch_span = None
         if rec.enabled:
             # The engine track follows the service clock (max semantics:
@@ -436,10 +614,27 @@ class EstimationService:
                     result.fault_ms,
                     result.fault_kinds,
                 )
+            if result.n_hedges:
+                self.metrics.record_hedges(
+                    result.n_hedges,
+                    result.n_hedge_wins,
+                    result.hedge_wasted_ms,
+                )
+            if self._admission is not None:
+                self._admission.observe_batch(len(batch), result.batch_ms)
+            if self._hedge_tracker is not None:
+                for r in result.round_results:
+                    if r is not None:
+                        self._hedge_tracker.observe(r.simulated_ms())
             for task, round_result, error in zip(
                 batch, result.round_results, result.failures
             ):
                 pending: _Pending = task.payload
+                if pending.cancelled:
+                    # Cancelled while its round was in flight: the result
+                    # is discarded, the ticket already carries its
+                    # RequestCancelled terminal state.
+                    continue
                 if error is not None:
                     self._on_round_failure(pending, error)
                 elif round_result is not None:
@@ -479,14 +674,34 @@ class EstimationService:
             self.drain()
 
     def close(self) -> None:
-        """Release engine resources (shard worker pools, shared memory).
+        """Terminal teardown: reject new work, finish or fail the rest,
+        release engine resources (shard worker pools, shared memory).
 
-        Stops the background worker first if one is running.  Safe to call
-        more than once; the service can keep serving afterwards (engines
-        lazily respawn their pools), but ``close()`` is meant as the final
-        teardown for sharded deployments."""
+        Idempotent.  The sequence closes the stranded-ticket race for
+        good: (1) the closed flag flips first, so any ``submit`` racing
+        the shutdown is rejected with :class:`~repro.errors.ServiceClosed`
+        *before* a ticket exists; (2) the worker stops and queued work
+        drains inline; (3) any ticket still pending after the drain (e.g.
+        queued behind a ``stop(drain=False)``) is failed with
+        ``ServiceClosed`` — every ticket ever issued reaches a terminal
+        state.  Submissions after ``close()`` are rejected permanently."""
+        with self._wakeup:
+            self._closed = True
+            self._wakeup.notify_all()
         self.stop()
         with self._lock:
+            leftovers = list(self._pending_by_id.values())
+            for pending in leftovers:
+                self._pending_by_id.pop(pending.ticket.request_id, None)
+                if not pending.ticket.done():
+                    pending.cancelled = True  # drop any queued rounds
+                    self.metrics.record_failure()
+                    pending.ticket._fail(
+                        ServiceClosed(
+                            f"service closed before request "
+                            f"{pending.ticket.request_id} completed"
+                        )
+                    )
             engines = list(self._engines.values())
         for engine in engines:
             engine.close()
@@ -519,10 +734,7 @@ class EstimationService:
         with self._lock:
             self.metrics.record_worker_crash()
             for task in self._inflight:
-                pending: _Pending = task.payload
-                if not pending.ticket.done():
-                    self.metrics.record_failure()
-                    pending.ticket._fail(error)
+                self._fail_pending(task.payload, error)
             self._inflight = []
 
     # ------------------------------------------------------------------
@@ -565,11 +777,20 @@ class EstimationService:
     def _admit_arrivals_locked(self) -> None:
         while self._arrivals:
             pending = self._arrivals.popleft()
+            if pending.cancelled:
+                continue
             try:
                 self._admit(pending)
             except Exception as error:  # noqa: BLE001 - isolate per request
-                self.metrics.record_failure()
-                pending.ticket._fail(error)
+                self._fail_pending(pending, error)
+
+    def _fail_pending(self, pending: _Pending, error: BaseException) -> None:
+        """Terminal failure: deregister the pending entry and fail its
+        ticket (idempotent against a racing cancel/completion)."""
+        self._pending_by_id.pop(pending.ticket.request_id, None)
+        if not pending.ticket.done():
+            self.metrics.record_failure()
+            pending.ticket._fail(error)
 
     def _admit(self, pending: _Pending) -> None:
         request = pending.request
@@ -650,12 +871,35 @@ class EstimationService:
         if pending.first_service_ms is None:
             pending.queue_ms = self._clock_ms - pending.arrival_ms
             pending.first_service_ms = self._clock_ms
+        watchdog_ms = (
+            pending.controller.round_watchdog_ms(self._elapsed_ms(pending))
+            if self.config.propagate_deadline
+            else None
+        )
+        hedge_delay_ms: Optional[float] = None
+        if (
+            self._hedge_tracker is not None
+            and self.config.hedge is not None
+            and pending.n_hedges_armed < self.config.hedge.max_hedges_per_request
+        ):
+            hedge_delay_ms = self._hedge_tracker.hedge_delay_ms()
+            if hedge_delay_ms is not None:
+                pending.n_hedges_armed += 1
+        weight = (
+            self._admission.weight_for(pending.tenant)
+            if self._admission is not None
+            else 1.0
+        )
         self._queue.append(
             RoundTask(
                 session=pending.session,
                 n_samples=n,
                 payload=pending,
                 retry=self.config.retry,
+                tenant=pending.tenant,
+                weight=weight,
+                watchdog_ms=watchdog_ms,
+                hedge_delay_ms=hedge_delay_ms,
             )
         )
 
@@ -695,8 +939,7 @@ class EstimationService:
                 return
             except Exception as fallback_error:  # noqa: BLE001 - last resort
                 error = fallback_error
-        self.metrics.record_failure()
-        pending.ticket._fail(error)
+        self._fail_pending(pending, error)
 
     def _complete_fallback(
         self, pending: _Pending, error: BaseException
@@ -751,6 +994,7 @@ class EstimationService:
         self._complete(pending)
 
     def _complete(self, pending: _Pending) -> None:
+        self._pending_by_id.pop(pending.ticket.request_id, None)
         controller = pending.controller
         if pending.override_acc is not None:  # CPU-fallback evidence
             acc = pending.override_acc

@@ -56,6 +56,27 @@ def spawn_generator_states(source: RandomSource, count: int) -> List[GeneratorSt
     return list(seed_seq.spawn(count))
 
 
+def clone_state(state: GeneratorState) -> GeneratorState:
+    """A fresh, replay-safe copy of a spawned child state.
+
+    ``SeedSequence.spawn`` mutates the sequence (its child counter
+    advances), so handing one ``SeedSequence`` object to two consumers
+    that each spawn sub-streams from it gives them *different*
+    grandchildren — not a replay.  Cloning rebuilds the sequence from its
+    ``(entropy, spawn_key)`` identity with the counter reset, so every
+    consumer of a clone sees the identical unspawned sequence (the hedged
+    round replay in :meth:`repro.core.engine.EngineSession.run_round_hedged`
+    depends on this for bit-identical estimates).
+    """
+    if isinstance(state, np.random.SeedSequence):
+        return np.random.SeedSequence(
+            entropy=state.entropy,
+            spawn_key=state.spawn_key,
+            pool_size=state.pool_size,
+        )
+    return state
+
+
 def generator_from_state(state: GeneratorState) -> np.random.Generator:
     """Materialise a generator from a spawned child state (replayable)."""
     return np.random.default_rng(state)
