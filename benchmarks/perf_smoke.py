@@ -12,6 +12,19 @@ against the checked-in baselines in ``benchmarks/baselines.json``:
   magnitude), while the sharp check is self-relative: the vectorized
   backend must beat the scalar backend by ``--min-speedup`` within the
   same process.
+* **fused gates** — every case also runs on the compiled-plan ``fused``
+  backend, which must stay bit-identical to the other two (estimate and
+  simulated milliseconds are compared exactly, and the run must report
+  ``backend == "fused"`` — a silent fallback to the interpreter would
+  pass equivalence while voiding the perf claim).  A dedicated
+  saturating workload (dblp q6 dense, 65536 samples, 128 tasks/warp —
+  small per-step data, enough warps that per-level dispatch dominates
+  the interpreter) gates the speedup itself: fused must beat vectorized
+  by ``--min-fused-speedup`` (default 3.0×) on Alley and by the
+  WanderJoin floor (2.0×; WJ spends a hard floor of its wall inside
+  per-warp ``Generator.integers`` calls both backends must replay
+  identically, which caps its ratio below Alley's).
+
 * **sharding gates** — one saturating workload runs at 1 and 4 shards:
   estimates and simulated milliseconds must be bit-identical, the
   deterministic multi-device makespan must show a ≥1.5× modeled speedup,
@@ -77,6 +90,19 @@ CASES = [
     ("alley_orkut_q6", AlleyEstimator, "orkut", 6),
 ]
 
+# Fused gate workload: per-level work must saturate whole-batch numpy ops
+# (big warp fleets, full 32-lane batches) or both backends are equally
+# dispatch-bound and the compiled plan cannot show its margin — the same
+# reasoning as the sharding workload below.  Alley carries the 3x gate;
+# WanderJoin's ratio is capped by the shared per-warp RNG replay cost, so
+# it gets a lower regression floor.
+FUSED_N_SAMPLES = int(os.environ.get("PERF_SMOKE_FUSED_SAMPLES", "65536"))
+FUSED_TASKS_PER_WARP = 128
+FUSED_WALL_REPEATS = 3
+FUSED_DATASET = "dblp"
+FUSED_K = 6
+FUSED_WJ_MIN_SPEEDUP = 2.0
+
 # Sharding gate workload: must be throughput-bound (many small balanced
 # warps, per-shard warp counts above device residency) or the modeled
 # makespan cannot improve — see benchmarks/bench_sharding_scaling.py.
@@ -125,11 +151,24 @@ def measure() -> dict:
     for name, estimator_cls, dataset, k in CASES:
         vec, vec_wall = _run_case(estimator_cls, dataset, k, "vectorized")
         sca, sca_wall = _run_case(estimator_cls, dataset, k, "scalar")
+        fus, fus_wall = _run_case(estimator_cls, dataset, k, "fused")
         if vec.estimate != sca.estimate or vec.simulated_ms() != sca.simulated_ms():
             raise SystemExit(
                 f"{name}: backends disagree (estimate {vec.estimate} vs "
                 f"{sca.estimate}, simulated {vec.simulated_ms()} vs "
                 f"{sca.simulated_ms()}) — equivalence broken"
+            )
+        if fus.estimate != sca.estimate or fus.simulated_ms() != sca.simulated_ms():
+            raise SystemExit(
+                f"{name}: fused backend diverged (estimate {fus.estimate} vs "
+                f"{sca.estimate}, simulated {fus.simulated_ms()} vs "
+                f"{sca.simulated_ms()}) — equivalence broken"
+            )
+        if fus.backend != "fused":
+            raise SystemExit(
+                f"{name}: fused run fell back to {fus.backend!r} "
+                f"({fus.backend_label}) — the compiled plan no longer covers "
+                "this workload"
             )
         lane_steps = vec.profile.warp.lane_total
         entries[name] = {
@@ -137,12 +176,135 @@ def measure() -> dict:
             "simulated_ms": vec.simulated_ms(),
             "wall_ms_vectorized": vec_wall,
             "wall_ms_scalar": sca_wall,
+            "wall_ms_fused": fus_wall,
             "speedup": sca_wall / vec_wall if vec_wall > 0 else float("inf"),
+            "fused_speedup": (
+                vec_wall / fus_wall if fus_wall > 0 else float("inf")
+            ),
             "lane_steps_per_sec": (
                 lane_steps / (vec_wall / 1000.0) if vec_wall > 0 else 0.0
             ),
         }
     return {"format": 1, "seed": SEED, "n_samples": N_SAMPLES, "entries": entries}
+
+
+def _run_fused_gate_case(estimator_cls, backend: str):
+    workload = build_workload(FUSED_DATASET, FUSED_K, "dense", 0)
+    engine = GSWORDEngine(
+        estimator_cls(),
+        EngineConfig.gsword(
+            backend=backend, tasks_per_warp=FUSED_TASKS_PER_WARP
+        ),
+    )
+    # Warmup compiles the plan / builds kernel tables outside the timing.
+    engine.run(workload.cg, workload.order, 2048, rng=1)
+    best_wall = float("inf")
+    result = None
+    for _ in range(FUSED_WALL_REPEATS):
+        start = time.perf_counter()
+        result = engine.run(
+            workload.cg, workload.order, FUSED_N_SAMPLES, rng=SEED
+        )
+        _synthetic_delay()
+        best_wall = min(best_wall, time.perf_counter() - start)
+    return result, best_wall * 1000.0
+
+
+def measure_fused() -> dict:
+    """Run the saturating fused-gate workload on both vector backends.
+
+    Aborts outright when fused output diverges from vectorized or when the
+    engine silently fell back to the interpreter — both void the gate.
+    """
+    out = {
+        "dataset": FUSED_DATASET,
+        "k": FUSED_K,
+        "n_samples": FUSED_N_SAMPLES,
+        "tasks_per_warp": FUSED_TASKS_PER_WARP,
+    }
+    for label, estimator_cls in (
+        ("alley", AlleyEstimator), ("wj", WanderJoinEstimator)
+    ):
+        vec, vec_wall = _run_fused_gate_case(estimator_cls, "vectorized")
+        fus, fus_wall = _run_fused_gate_case(estimator_cls, "fused")
+        if (
+            fus.estimate != vec.estimate
+            or fus.simulated_ms() != vec.simulated_ms()
+        ):
+            raise SystemExit(
+                f"fused[{label}]: backends disagree (estimate {fus.estimate} "
+                f"vs {vec.estimate}, simulated {fus.simulated_ms()} vs "
+                f"{vec.simulated_ms()}) — equivalence broken"
+            )
+        if fus.backend != "fused":
+            raise SystemExit(
+                f"fused[{label}]: gate run fell back to {fus.backend!r} "
+                f"({fus.backend_label}) — cannot gate the compiled plan"
+            )
+        out[f"estimate_{label}"] = fus.estimate
+        out[f"simulated_ms_{label}"] = fus.simulated_ms()
+        out[f"wall_ms_vectorized_{label}"] = vec_wall
+        out[f"wall_ms_fused_{label}"] = fus_wall
+        out[f"fused_speedup_{label}"] = (
+            vec_wall / fus_wall if fus_wall > 0 else float("inf")
+        )
+    return out
+
+
+def compare_fused(cur: dict, base: dict, min_fused_speedup: float) -> list:
+    failures = []
+    if not base:
+        return ["fused: no baseline section (run --update-baselines)"]
+    for label in ("alley", "wj"):
+        for key in (f"estimate_{label}", f"simulated_ms_{label}"):
+            if cur[key] != base.get(key):
+                failures.append(
+                    f"fused: {key} {cur[key]} != baseline {base.get(key)} "
+                    "(deterministic — must match exactly)"
+                )
+    if cur["fused_speedup_alley"] < min_fused_speedup:
+        failures.append(
+            f"fused: Alley compiled plan only "
+            f"{cur['fused_speedup_alley']:.2f}x faster than vectorized "
+            f"(gate: {min_fused_speedup:.2f}x)"
+        )
+    if cur["fused_speedup_wj"] < FUSED_WJ_MIN_SPEEDUP:
+        failures.append(
+            f"fused: WanderJoin compiled plan only "
+            f"{cur['fused_speedup_wj']:.2f}x faster than vectorized "
+            f"(floor: {FUSED_WJ_MIN_SPEEDUP:.2f}x)"
+        )
+    return failures
+
+
+def dump_plan_ir(path: Path) -> None:
+    """Write the fused-gate workload's compiled plan IR (a CI artifact —
+    reviewers can diff what schedule actually gated the build)."""
+    from repro.estimators.fused import fused_kernel_for
+
+    workload = build_workload(FUSED_DATASET, FUSED_K, "dense", 0)
+    plans = {}
+    for label, estimator_cls in (
+        ("wanderjoin", WanderJoinEstimator), ("alley", AlleyEstimator)
+    ):
+        kernel_cls = fused_kernel_for(estimator_cls())
+        kernel = kernel_cls(workload.cg, workload.order)
+        plans[label] = kernel.compile_plan(len(workload.order)).to_ir()
+    path.write_text(
+        json.dumps(
+            {
+                "workload": {
+                    "dataset": FUSED_DATASET,
+                    "k": FUSED_K,
+                    "query_type": "dense",
+                    "index": 0,
+                },
+                "plans": plans,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
 
 
 def host_cores() -> int:
@@ -389,6 +551,15 @@ def compare(current: dict, baseline: dict, wall_tolerance: float,
                 f"{wall_tolerance:.1f}x baseline "
                 f"({base['wall_ms_vectorized']:.1f}ms)"
             )
+        fused_base = base.get("wall_ms_fused")
+        if (
+            fused_base is not None
+            and cur["wall_ms_fused"] > fused_base * wall_tolerance
+        ):
+            failures.append(
+                f"{name}: fused wall {cur['wall_ms_fused']:.1f}ms exceeds "
+                f"{wall_tolerance:.1f}x baseline ({fused_base:.1f}ms)"
+            )
         if cur["speedup"] < min_speedup:
             failures.append(
                 f"{name}: vectorized only {cur['speedup']:.2f}x faster than "
@@ -411,6 +582,16 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=1.5,
         help="min vectorized-over-scalar wall speedup (default 1.5)",
     )
+    parser.add_argument(
+        "--min-fused-speedup", type=float, default=3.0,
+        help="min fused-over-vectorized wall speedup on the saturating "
+        "Alley gate workload (default 3.0)",
+    )
+    parser.add_argument(
+        "--plan-out", type=Path, default=None,
+        help="also dump the fused-gate workload's compiled plan IR to "
+        "this JSON file (uploaded as a CI artifact)",
+    )
     args = parser.parse_args(argv)
 
     current = measure()
@@ -420,8 +601,23 @@ def main(argv=None) -> int:
             f"sim={entry['simulated_ms']:.3f}ms "
             f"wall={entry['wall_ms_vectorized']:.1f}ms "
             f"speedup={entry['speedup']:.2f}x "
+            f"fused={entry['fused_speedup']:.2f}x "
             f"({entry['lane_steps_per_sec']:.0f} lane-steps/s)"
         )
+    fused = measure_fused()
+    current["fused"] = fused
+    print(
+        f"{'fused_gate':<20} "
+        f"alley={fused['fused_speedup_alley']:.2f}x "
+        f"wj={fused['fused_speedup_wj']:.2f}x "
+        f"(vec {fused['wall_ms_vectorized_alley']:.0f}/"
+        f"{fused['wall_ms_vectorized_wj']:.0f}ms, fused "
+        f"{fused['wall_ms_fused_alley']:.0f}/"
+        f"{fused['wall_ms_fused_wj']:.0f}ms)"
+    )
+    if args.plan_out is not None:
+        dump_plan_ir(args.plan_out)
+        print(f"fused plan IR written to {args.plan_out}")
     sharding = measure_sharding()
     current["sharding"] = sharding
     measured_note = (
@@ -461,6 +657,9 @@ def main(argv=None) -> int:
     baseline = json.loads(BASELINE_PATH.read_text())
     failures = compare(
         current, baseline, args.wall_tolerance, args.min_speedup
+    )
+    failures += compare_fused(
+        fused, baseline.get("fused", {}), args.min_fused_speedup
     )
     failures += compare_sharding(sharding, baseline.get("sharding", {}))
     failures += compare_tracing(tracing)

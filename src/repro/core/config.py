@@ -32,7 +32,7 @@ class SyncMode(str, enum.Enum):
 
 
 #: Valid values of :attr:`EngineConfig.backend`.
-BACKENDS = ("vectorized", "scalar")
+BACKENDS = ("fused", "vectorized", "scalar")
 
 
 def default_backend() -> str:
@@ -86,16 +86,20 @@ class EngineConfig:
             collaborative phase (32 in the paper — one per lane).
         backend: warp-execution backend.  ``"vectorized"`` (the default,
             overridable via ``REPRO_BACKEND``) runs lanes as
-            struct-of-arrays waves; ``"scalar"`` is the lane-at-a-time
-            reference path.  Estimates and profiles are bit-identical; the
-            engine silently falls back to scalar for custom estimators the
-            vector kernels don't cover.
+            struct-of-arrays waves; ``"fused"`` executes a plan compiled
+            once per (query, estimator) pair as whole-batch level kernels
+            (sample synchronisation only); ``"scalar"`` is the
+            lane-at-a-time reference path.  Estimates and profiles are
+            bit-identical; the engine steps down the fallback ladder
+            (fused -> vectorized -> scalar) for configurations or custom
+            estimators a backend doesn't cover.
         n_shards: number of simulated devices (OS worker processes) a
             round's warp batch is partitioned across.  ``1`` (the default,
             overridable via ``REPRO_SHARDS``) runs in-process.  Because
             each warp owns its RNG substream, estimates are bit-identical
             for any shard count; only wall-clock and the multi-device
-            makespan telemetry change.  Requires the vectorized backend.
+            makespan telemetry change.  Requires a vector-capable backend
+            (``"vectorized"`` or ``"fused"``).
         trace: enable span tracing (:mod:`repro.obs`).  ``False`` by
             default (overridable via ``REPRO_TRACE``): the engine then
             holds the shared no-op recorder and instrumentation costs one
@@ -134,10 +138,11 @@ class EngineConfig:
             raise ConfigError("streaming_threshold must be positive")
         if self.n_shards < 1:
             raise ConfigError("n_shards must be >= 1")
-        if self.n_shards > 1 and self.backend != "vectorized":
+        if self.n_shards > 1 and self.backend == "scalar":
             raise ConfigError(
-                "sharded execution (n_shards > 1) requires the vectorized "
-                "backend; the scalar reference path is single-process only"
+                "sharded execution (n_shards > 1) requires a vector-capable "
+                "backend (vectorized or fused); the scalar reference path "
+                "is single-process only"
             )
 
     # Named presets matching the paper's method labels -----------------

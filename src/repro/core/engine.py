@@ -107,15 +107,29 @@ class GPURunResult:
     longest_warp_cycles: float
     spec: GPUSpec
     collected: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
-    #: Warp-execution backend that produced this result ("vectorized" or
-    #: "scalar"); both yield bit-identical numbers, so this is telemetry.
+    #: Warp-execution backend that produced this result ("fused",
+    #: "vectorized" or "scalar"); all yield bit-identical numbers, so this
+    #: is telemetry.
     backend: str = "scalar"
+    #: Backend the config *asked* for.  Differs from ``backend`` when the
+    #: fallback ladder (fused -> vectorized -> scalar) stepped down — e.g.
+    #: an estimator without a fused kernel, or iteration sync.  Empty means
+    #: "same as executed" (constructors that predate the ladder).
+    requested_backend: str = ""
     #: Shard count the round actually executed with (1 = in-process) and
     #: the per-shard simulated kernel durations.  Estimates, profiles and
     #: :meth:`simulated_ms` are bit-identical across shard counts; these
     #: fields feed the separate multi-device makespan telemetry.
     n_shards: int = 1
     shard_ms: List[float] = field(default_factory=list)
+
+    @property
+    def backend_label(self) -> str:
+        """Telemetry label: the executed backend, annotated when it is a
+        fallback from the requested one (``"fused_fallback_scalar"``)."""
+        if not self.requested_backend or self.requested_backend == self.backend:
+            return self.backend
+        return f"{self.requested_backend}_fallback_{self.backend}"
 
     @property
     def valid_ratio(self) -> float:
@@ -200,6 +214,7 @@ class GSWORDEngine:
         # reusable lane-state scratch, and the lazily started shard pool.
         self._kernel_cache: Optional[tuple] = None
         self._scratch = None
+        self._arena = None
         self._shard_pool = None
 
     def close(self) -> None:
@@ -255,7 +270,7 @@ class GSWORDEngine:
             raise ConfigError("n_samples must be positive")
         tasks_per_warp = self.config.tasks_per_warp
         max_warps = math.ceil(n_samples / tasks_per_warp)
-        provider = self._vector_provider(
+        provider, exec_backend = self._warp_provider(
             cg, order, n_samples, rng, collect_states, shard_offset
         )
         warp_rngs = (
@@ -285,7 +300,8 @@ class GSWORDEngine:
                 "kernel.launch",
                 track="engine",
                 args={
-                    "backend": "scalar" if provider is None else "vectorized",
+                    "backend": exec_backend,
+                    "requested_backend": self.config.backend,
                     "n_shards": n_shards,
                 },
             )
@@ -361,7 +377,8 @@ class GSWORDEngine:
             longest_warp_cycles=longest,
             spec=self.spec,
             collected=collected,
-            backend="scalar" if provider is None else "vectorized",
+            backend=exec_backend,
+            requested_backend=self.config.backend,
             n_shards=n_shards,
             shard_ms=shard_ms,
         )
@@ -416,7 +433,7 @@ class GSWORDEngine:
             )
         rec.end(launch_span, sim_dur_ms=sim_ms, args=args)
 
-    def _vector_provider(
+    def _warp_provider(
         self,
         cg: CandidateGraph,
         order: MatchingOrder,
@@ -425,21 +442,45 @@ class GSWORDEngine:
         collect_states: bool,
         shard_offset: int = 0,
     ):
-        """The vectorized wave executor when the config asks for it and a
-        vector kernel covers the estimator; ``None`` means scalar."""
-        if self.config.backend != "vectorized":
-            return None
-        from repro.estimators.vectorized import vector_kernel_for
+        """``(provider, backend)`` via the fallback ladder.
 
-        kernel_cls = vector_kernel_for(self.estimator)
-        if kernel_cls is None:
-            return None
-        from repro.core.vectorized import VectorWarpProvider
+        ``fused`` needs sample synchronisation (the compiled schedule
+        exploits depth lockstep) and a registered fused kernel; failing
+        either it degrades to ``vectorized``, which in turn needs a vector
+        kernel; the scalar interpreter (``provider=None``) covers
+        everything.  Every rung is bit-identical to the ones below it, so
+        the ladder only changes speed, never results.
+        """
+        backend = self.config.backend
+        if backend == "fused" and self.config.sync_mode is SyncMode.SAMPLE:
+            from repro.estimators.fused import fused_kernel_for
 
-        return VectorWarpProvider(
-            self, kernel_cls, cg, order, n_samples, rng, collect_states,
-            shard_offset=shard_offset,
-        )
+            kernel_cls = fused_kernel_for(self.estimator)
+            if kernel_cls is not None:
+                from repro.core.fused import FusedWarpProvider
+
+                return (
+                    FusedWarpProvider(
+                        self, kernel_cls, cg, order, n_samples, rng,
+                        collect_states, shard_offset=shard_offset,
+                    ),
+                    "fused",
+                )
+        if backend in ("fused", "vectorized"):
+            from repro.estimators.vectorized import vector_kernel_for
+
+            kernel_cls = vector_kernel_for(self.estimator)
+            if kernel_cls is not None:
+                from repro.core.vectorized import VectorWarpProvider
+
+                return (
+                    VectorWarpProvider(
+                        self, kernel_cls, cg, order, n_samples, rng,
+                        collect_states, shard_offset=shard_offset,
+                    ),
+                    "vectorized",
+                )
+        return None, "scalar"
 
     def _vector_kernel(self, kernel_cls, cg: CandidateGraph, order: MatchingOrder):
         """Last-plan kernel cache: ``EngineSession`` rounds reuse one
@@ -465,6 +506,15 @@ class GSWORDEngine:
 
             self._scratch = LaneStateScratch()
         return self._scratch
+
+    def _fused_arena(self):
+        """The engine-lifetime fused scratch arena (reused across rounds —
+        steady-state fused execution allocates nothing)."""
+        if self._arena is None:
+            from repro.core.fused import FusedArena
+
+            self._arena = FusedArena()
+        return self._arena
 
     def _shard_executor(self):
         """The lazily started shard worker pool (``config.n_shards`` > 1)."""

@@ -1,0 +1,769 @@
+"""Fused wave execution — ``backend="fused"``'s dense sample-sync runner.
+
+:class:`repro.core.vectorized.WaveRunner` is already array-at-a-time, but it
+re-interprets the RSV loop every super-step: it rebuilds flat lane lists,
+re-gathers per-lane table rows for an arbitrary depth mix, and walks a
+Python loop over live warps to charge the cost model.  Under sample
+synchronisation the loop structure is static — every running lane of a warp
+sits at the warp's depth — so :class:`FusedRunner` executes the
+:class:`repro.estimators.fused.FusedPlan` compiled once per (query,
+estimator) pair instead:
+
+* lane state stays **dense**: ``(K, W, n_q)`` instances, ``(K, W)``
+  probabilities and masks, per-warp depth/quota/profile registers as
+  struct-of-arrays columns — no flat-list rebuild, no per-warp objects;
+* each super-step partitions live warps by depth (usually one group) and
+  runs the level's compiled kernel as whole-batch numpy ops;
+* cost-model charges are whole-column arithmetic on the profile SoA,
+  replicating the scalar charge sequence value-for-value (the per-level
+  constants — backward-pair count, candidate spans — are baked into the
+  plan, so the per-warp Python charge loop disappears);
+* batch-end Horvitz–Thompson folds run as masked per-lane Welford updates
+  across all finishing warps at once, reproducing ``HTAccumulator.add``'s
+  float operation order exactly.
+
+All persistent buffers come from a :class:`FusedArena` — named, high-water
+reused across waves *and* rounds, so steady-state execution allocates
+nothing.  Bit-identity with the scalar backend (estimates, inheritance
+decisions, reservoir contents, simulated-ms) is the same tested contract
+``vectorized`` carries; the equivalence suite runs all three backends.
+
+Iteration synchronisation has no depth-lockstep property to exploit, so the
+engine's fallback ladder routes ``sync_mode=ITERATION`` runs (and
+estimators without a fused kernel) to the vectorized or scalar backends —
+see ``GSWORDEngine._warp_provider``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SyncMode
+from repro.core.engine import (
+    _CAND_SCAN_OPS,
+    _ITER_BASE_OPS,
+    _PROBE_LOADS,
+    _SAMPLE_OPS,
+    _VALIDATE_OPS,
+)
+from repro.core.vectorized import (
+    LaneStateScratch,
+    VectorWarpProvider,
+    WarpResult,
+    WaveParams,
+    WaveRunner,
+)
+from repro.estimators.fused import FusedKernelMixin, FusedPlan
+from repro.estimators.ht import HTAccumulator
+from repro.gpu.memory import (
+    ARRAY_GLOBAL_CANDIDATES,
+    ARRAY_LOCAL_CANDIDATES,
+    warp_instruction_cost,
+)
+from repro.gpu.profiler import WarpProfile
+from repro.utils.rng import GeneratorState, generator_from_state
+
+#: Warps processed per fused wave.  The dense SoA state is small (a few
+#: hundred bytes per warp), so the fused runner takes much wider waves
+#: than the interpreting backend's 1024 — per-super-step numpy dispatch
+#: is its only fixed cost, and wave width is what amortises it.  Chunk
+#: size never changes results: warps own their RNG substreams and every
+#: runner pass is row-wise.
+_FUSED_WAVE_CHUNK = 8192
+
+#: Array-id key offsets for the row-wise union counter; the same
+#: collision-free packing :func:`repro.gpu.memory.batched_union_counts`
+#: uses (array ids < 8, candidate arrays far below 2^45 elements).
+_AID_LOCAL = np.int64(ARRAY_LOCAL_CANDIDATES) << 45
+_AID_GLOBAL = np.int64(ARRAY_GLOBAL_CANDIDATES) << 45
+_KEY_SENTINEL = np.int64(1) << 62
+
+
+def _distinct_rows(keys: np.ndarray) -> np.ndarray:
+    """Distinct non-sentinel (``-1``) values per row of a key matrix."""
+    s = np.sort(keys, axis=1)
+    if s.shape[1] > 1:
+        distinct = (s[:, 1:] != s[:, :-1]).sum(axis=1) + 1
+    else:
+        distinct = np.ones(s.shape[0], dtype=np.int64)
+    return distinct - (s[:, 0] == -1)
+
+
+def _scan_union_rows(
+    m: np.ndarray, eid: np.ndarray, first: np.ndarray, last: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(segments, extra_regions)`` over one scan span per lane.
+
+    Same counts as :func:`repro.gpu.memory.batched_union_counts` for the
+    fused refine step's shape — each masked lane contributes one inclusive
+    segment range ``[first, last]`` in the array given by ``eid``'s sign —
+    but computed per warp row: distinct ``(array, segment)`` via an
+    interval-union sweep over the lane spans sorted by start, distinct
+    ``(array, region)`` via a 32-wide row sort.  No flat concatenation,
+    no global key sort.
+    """
+    aidk = np.where(eid >= 0, _AID_LOCAL, _AID_GLOBAL)
+    fk = np.where(m, aidk + first, _KEY_SENTINEL)
+    lk = np.where(m, aidk + last, np.int64(-1))
+    order = np.argsort(fk, axis=1)
+    fs = np.take_along_axis(fk, order, axis=1)
+    ls = np.take_along_axis(lk, order, axis=1)
+    run = np.maximum.accumulate(ls, axis=1)
+    pm = np.empty_like(run)
+    pm[:, 0] = -2
+    if run.shape[1] > 1:
+        pm[:, 1:] = run[:, :-1]
+    # Sorted by start, the already-covered part of span i is exactly
+    # [fs_i, pm_i], so its new coverage is [max(fs_i, pm_i + 1), ls_i].
+    segs = np.maximum(0, ls - np.maximum(fs, pm + 1) + 1).sum(axis=1)
+    extra = np.maximum(0, _distinct_rows(np.where(m, aidk + eid + 1, np.int64(-1))) - 1)
+    return segs, extra
+
+
+def _touch_union_rows(
+    m: np.ndarray, eid: np.ndarray, seg_idx: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(segments, extra_regions)`` over one single-element touch
+    per lane (the validate-probe shape): both unions are plain distinct
+    counts, no interval sweep needed."""
+    aidk = np.where(eid >= 0, _AID_LOCAL, _AID_GLOBAL)
+    segs = _distinct_rows(np.where(m, aidk + seg_idx, np.int64(-1)))
+    extra = np.maximum(0, _distinct_rows(np.where(m, aidk + eid + 1, np.int64(-1))) - 1)
+    return segs, extra
+
+
+class FusedArena:
+    """Named growable scratch buffers with high-water reuse.
+
+    Every persistent array the fused runner needs (lane state, profile
+    SoA, Welford registers, batch bookkeeping) is ``take``-n from here by
+    name; once a wave as large as any before has run, subsequent waves and
+    rounds allocate nothing.  ``n_allocations`` counts real ``np.empty``
+    calls — the reuse tests pin it."""
+
+    __slots__ = ("_bufs", "n_allocations")
+
+    def __init__(self) -> None:
+        self._bufs: Dict[str, np.ndarray] = {}
+        self.n_allocations = 0
+
+    def take(
+        self, name: str, shape: Tuple[int, ...], dtype: type
+    ) -> np.ndarray:
+        need = 1
+        for s in shape:
+            need *= int(s)
+        buf = self._bufs.get(name)
+        if buf is None or buf.size < need or buf.dtype != np.dtype(dtype):
+            buf = np.empty(need, dtype=dtype)
+            self._bufs[name] = buf
+            self.n_allocations += 1
+        return buf[:need].reshape(shape)
+
+    def zeros(
+        self, name: str, shape: Tuple[int, ...], dtype: type
+    ) -> np.ndarray:
+        out = self.take(name, shape, dtype)
+        out.fill(0)
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._bufs.values())
+
+
+class _ProfileSoA:
+    """Per-warp :class:`WarpProfile` counters as arena columns."""
+
+    __slots__ = (
+        "comp", "mem", "sync", "slong", "swait",
+        "segs", "regs", "busy", "ltot", "iters",
+    )
+
+    def __init__(self, arena: FusedArena, K: int) -> None:
+        self.comp = arena.zeros("prof_comp", (K,), np.float64)
+        self.mem = arena.zeros("prof_mem", (K,), np.float64)
+        self.sync = arena.zeros("prof_sync", (K,), np.float64)
+        self.slong = arena.zeros("prof_slong", (K,), np.float64)
+        self.swait = arena.zeros("prof_swait", (K,), np.float64)
+        self.segs = arena.zeros("prof_segs", (K,), np.int64)
+        self.regs = arena.zeros("prof_regs", (K,), np.int64)
+        self.busy = arena.zeros("prof_busy", (K,), np.int64)
+        self.ltot = arena.zeros("prof_ltot", (K,), np.int64)
+        self.iters = arena.zeros("prof_iters", (K,), np.int64)
+
+    def materialize(self, i: int) -> WarpProfile:
+        return WarpProfile(
+            compute_cycles=float(self.comp[i]),
+            mem_cycles=float(self.mem[i]),
+            sync_cycles=float(self.sync[i]),
+            stall_long=float(self.slong[i]),
+            stall_wait=float(self.swait[i]),
+            mem_segments=int(self.segs[i]),
+            region_misses=int(self.regs[i]),
+            lane_busy=int(self.busy[i]),
+            lane_total=int(self.ltot[i]),
+            iterations=int(self.iters[i]),
+        )
+
+
+class FusedRunner:
+    """Executes warps against a compiled :class:`FusedPlan`.
+
+    Drop-in for :class:`WaveRunner` on the sample-synchronised path: same
+    ``run_warps(states, quotas) -> List[WarpResult]`` contract, same
+    bit-identical results for any wave composition or process placement —
+    which is what lets :mod:`repro.multidev` shard fused rounds unchanged.
+    """
+
+    def __init__(
+        self,
+        kernel: FusedKernelMixin,
+        params: WaveParams,
+        arena: Optional[FusedArena] = None,
+    ) -> None:
+        if params.sync_mode is not SyncMode.SAMPLE:
+            raise ValueError(
+                "the fused backend compiles the sample-synchronised "
+                "schedule only; iteration sync runs on the vectorized "
+                "fallback"
+            )
+        if not isinstance(kernel, FusedKernelMixin):
+            raise TypeError("FusedRunner needs a fused kernel")
+        self.kernel = kernel
+        self.p = params
+        self.arena = arena if arena is not None else FusedArena()
+        self.plan: FusedPlan = kernel.compile_plan(params.target)
+
+    def run_warps(
+        self, states: Sequence[GeneratorState], quotas: Sequence[int]
+    ) -> List[WarpResult]:
+        results: List[WarpResult] = []
+        for lo in range(0, len(states), _FUSED_WAVE_CHUNK):
+            hi = min(lo + _FUSED_WAVE_CHUNK, len(states))
+            results.extend(self._wave(states[lo:hi], quotas[lo:hi]))
+        return results
+
+    # ------------------------------------------------------------------
+    # Wave loop
+    # ------------------------------------------------------------------
+    def _wave(
+        self, states: Sequence[GeneratorState], quotas: Sequence[int]
+    ) -> List[WarpResult]:
+        p = self.p
+        K = len(states)
+        W, target, n_q = p.warp_size, p.target, p.n_q
+        ar = self.arena
+        # Bound `integers` methods: the draw loop calls one per warp per
+        # step, and attribute lookup on Generator is measurable at scale.
+        igs = [generator_from_state(s).integers for s in states]
+
+        inst = ar.take("inst", (K, W, n_q), np.int64)
+        prob = ar.take("prob", (K, W), np.float64)
+        active = ar.take("active", (K, W), np.bool_)
+        running = ar.take("running", (K, W), np.bool_)
+        valid = ar.take("valid", (K, W), np.bool_)
+        prof = _ProfileSoA(ar, K)
+        wn = ar.zeros("wf_n", (K,), np.int64)
+        wvalid = ar.zeros("wf_valid", (K,), np.int64)
+        wmean = ar.zeros("wf_mean", (K,), np.float64)
+        wm2 = ar.zeros("wf_m2", (K,), np.float64)
+        remaining = ar.take("remaining", (K,), np.int64)
+        remaining[:] = np.asarray(quotas, dtype=np.int64)
+        batch = ar.zeros("batch", (K,), np.int64)
+        round_inh = ar.zeros("round_inh", (K,), np.int64)
+        dvals = ar.zeros("dvals", (K,), np.int64)
+        need_batch = ar.take("need_batch", (K,), np.bool_)
+        need_batch.fill(True)
+        alive = ar.take("alive", (K,), np.bool_)
+        alive.fill(True)
+        ncoll = ar.zeros("ncoll", (K,), np.int64)
+        collected: Optional[List[List[Tuple[Tuple[int, ...], float]]]] = (
+            [[] for _ in range(K)] if p.collect_states else None
+        )
+        lane_iota = np.arange(W, dtype=np.int64)
+
+        rows_alive = np.nonzero(alive)[0]
+        while len(rows_alive):
+            nb_rows = rows_alive[need_batch[rows_alive]]
+            if len(nb_rows):
+                b = np.minimum(W, remaining[nb_rows])
+                batch[nb_rows] = b
+                inst[nb_rows] = -1
+                prob[nb_rows] = 1.0
+                active[nb_rows] = lane_iota[None, :] < b[:, None]
+                running[nb_rows] = active[nb_rows]
+                dvals[nb_rows] = 0
+                round_inh[nb_rows] = 0
+                need_batch[nb_rows] = False
+
+            # One super-step.  Warps can sit at different depths (batches
+            # end per warp), so partition by depth; each group runs its
+            # compiled level as one dense pass.
+            valid[rows_alive] = False
+            dsub = dvals[rows_alive]
+            d0 = int(dsub[0])
+            if (dsub == d0).all():
+                self._step_level(
+                    d0, rows_alive, inst, prob, running, valid, igs, prof
+                )
+            else:
+                for d in np.unique(dsub):
+                    rows = rows_alive[dsub == d]
+                    self._step_level(
+                        int(d), rows, inst, prob, running, valid, igs, prof
+                    )
+
+            if p.inheritance:
+                self._inherit_rows(
+                    rows_alive, valid, running, inst, prob, prof, round_inh
+                )
+            else:
+                running[rows_alive] &= valid[rows_alive]
+            dvals[rows_alive] += 1
+            fin_m = (dvals[rows_alive] >= target) | ~running[rows_alive].any(
+                axis=1
+            )
+            fin = rows_alive[fin_m]
+            if len(fin):
+                self._finish_rows(
+                    fin, inst, prob, active, running, dvals,
+                    wn, wvalid, wmean, wm2, collected,
+                )
+                rc = batch[fin] + round_inh[fin]
+                ncoll[fin] += rc
+                remaining[fin] -= rc
+                cont = remaining[fin] > 0
+                need_batch[fin[cont]] = True
+                alive[fin[~cont]] = False
+                rows_alive = np.nonzero(alive)[0]
+
+        out: List[WarpResult] = []
+        for i in range(K):
+            acc = HTAccumulator(n=int(wn[i]), n_valid=int(wvalid[i]))
+            acc._mean = float(wmean[i])
+            acc._m2 = float(wm2[i])
+            out.append(
+                (
+                    acc,
+                    prof.materialize(i),
+                    int(wvalid[i]),
+                    collected[i] if collected is not None else [],
+                    int(ncoll[i]),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Step pieces
+    # ------------------------------------------------------------------
+    def _step_level(
+        self,
+        d: int,
+        rows: np.ndarray,
+        inst: np.ndarray,
+        prob: np.ndarray,
+        running: np.ndarray,
+        valid: np.ndarray,
+        igs: List,
+        prof: _ProfileSoA,
+    ) -> None:
+        lv = self.plan.levels[d]
+        # When the depth group covers the whole wave (the common case) the
+        # state matrices are passed as views: nothing in the step mutates
+        # `running`, and `inst` is only written after the kernel phases
+        # have consumed it.
+        full = len(rows) == inst.shape[0]
+        present = running if full else running[rows]
+        inst3 = inst if full else inst[rows]
+        prep = self.kernel.fused_prepare(lv, inst3, present)
+        idx = self._draw_rows(rows, prep.rlen, igs)
+        res = self.kernel.fused_finish(lv, prep, idx, inst3)
+        vr, vc = np.nonzero(res.valid)
+        if len(vr):
+            gr = vr if full else rows[vr]
+            inst[gr, vc, d] = res.v[vr, vc]
+            prob[gr, vc] *= res.prob_factor[vr, vc]
+        valid[rows] = res.valid
+        self._charge_rows(lv, rows, present, prep, res, prof)
+
+    def _draw_rows(
+        self,
+        rows: np.ndarray,
+        rlen: np.ndarray,
+        igs: List,
+    ) -> np.ndarray:
+        """Per-warp array-bound draws — each warp's own generator consumes
+        the identical bound array the scalar path feeds it.
+
+        The drawable bounds of all rows are gathered once (row-major, so
+        each row's slice is its positive bounds in ascending lane order —
+        the scalar ``bounds[drawable]``) and each warp's pre-bound
+        ``Generator.integers`` draws from a contiguous view; per-row numpy
+        work is one slice and one ``integers`` call.
+        """
+        idx = np.full(rlen.shape, -1, dtype=np.int64)
+        mask = rlen > 0
+        counts = mask.sum(axis=1).tolist()
+        flat_bounds = rlen[mask]
+        off = 0
+        parts: List[np.ndarray] = []
+        ap = parts.append
+        row_ids = rows.tolist()
+        for i, c in enumerate(counts):
+            if c:
+                end = off + c
+                ap(igs[row_ids[i]](0, flat_bounds[off:end]))
+                off = end
+        if parts:
+            idx[mask] = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return idx
+
+    def _inherit_rows(
+        self,
+        rows: np.ndarray,
+        valid: np.ndarray,
+        running: np.ndarray,
+        inst: np.ndarray,
+        prob: np.ndarray,
+        prof: _ProfileSoA,
+        round_inh: np.ndarray,
+    ) -> None:
+        """Alg. 2 inheritance for every stepping warp at once."""
+        sc = self.p.spec.sync_cycles
+        run_r = running[rows]
+        votes = run_r & valid[rows]
+        anyv = votes.any(axis=1)
+        if np.array_equal(votes, run_r):
+            # No lane died this step (the common case at high valid
+            # ratios): voting changes nothing, only the syncs are charged.
+            nv = rows[~anyv]
+            if len(nv):
+                prof.sync[nv] += sc
+            vr = rows[anyv]
+            if len(vr):
+                y = prof.sync[vr] + sc
+                prof.sync[vr] = y + sc
+            return
+        nv = rows[~anyv]
+        if len(nv):
+            prof.sync[nv] += sc
+            running[nv] = False
+        vr = rows[anyv]
+        if len(vr) == 0:
+            return
+        y = prof.sync[vr] + sc
+        prof.sync[vr] = y + sc
+        v2 = votes[anyv]
+        idle_m = running[vr] & ~v2
+        idle = idle_m.sum(axis=1)
+        z = idle == 0
+        if z.any():
+            running[vr[z]] = v2[z]
+        iw = ~z
+        if not iw.any():
+            return
+        wr = vr[iw]
+        vm = v2[iw]
+        im = idle_m[iw]
+        ic = idle[iw]
+        parent = np.argmax(vm, axis=1)
+        prob[wr, parent] *= ic + 1
+        # One shfl-sync per inheriting lane, exactly idle times per warp.
+        for i in range(int(ic.max())):
+            prof.sync[wr[ic > i]] += sc
+        rr, ll = np.nonzero(im)
+        gr = wr[rr]
+        par = parent[rr]
+        inst[gr, ll] = inst[gr, par]
+        prob[gr, ll] = prob[gr, par]
+        round_inh[wr] += ic
+        # All previously running lanes continue (the Alg. 2 behaviour).
+
+    def _finish_rows(
+        self,
+        fin: np.ndarray,
+        inst: np.ndarray,
+        prob: np.ndarray,
+        active: np.ndarray,
+        running: np.ndarray,
+        dvals: np.ndarray,
+        wn: np.ndarray,
+        wvalid: np.ndarray,
+        wmean: np.ndarray,
+        wm2: np.ndarray,
+        collected: Optional[List[List[Tuple[Tuple[int, ...], float]]]],
+    ) -> None:
+        """Batch-end HT fold: masked Welford updates lane 0..W-1 in order,
+        replicating ``HTAccumulator.add`` per active lane."""
+        target = self.p.target
+        W = self.p.warp_size
+        ok = running[fin] & (dvals[fin] == target)[:, None]
+        act = active[fin]
+        pv = prob[fin]
+        val = np.where(
+            ok, np.divide(1.0, pv, out=np.zeros_like(pv), where=ok), 0.0
+        )
+        n = wn[fin]
+        nv = wvalid[fin]
+        mean = wmean[fin]
+        m2 = wm2[fin]
+        if act.all():
+            # Full batches (the common case): every lane adds, so the
+            # masked selects vanish and n is always >= 1 after increment.
+            for lane in range(W):
+                value = val[:, lane]
+                n = n + 1
+                nv = nv + (value > 0)
+                delta = value - mean
+                mean = mean + delta / n
+                m2 = m2 + delta * (value - mean)
+        else:
+            for lane in range(W):
+                m = act[:, lane]
+                value = val[:, lane]
+                n = n + m
+                nv = nv + (m & (value > 0))
+                delta = value - mean
+                nsafe = np.maximum(n, 1)
+                mean_new = mean + delta / nsafe
+                m2_new = m2 + delta * (value - mean_new)
+                mean = np.where(m, mean_new, mean)
+                m2 = np.where(m, m2_new, m2)
+        wn[fin] = n
+        wvalid[fin] = nv
+        wmean[fin] = mean
+        wm2[fin] = m2
+        if collected is not None:
+            for i in range(len(fin)):
+                row_ok = ok[i]
+                if not row_ok.any():
+                    continue
+                r = int(fin[i])
+                for lane in np.nonzero(row_ok)[0]:
+                    collected[r].append(
+                        (
+                            tuple(int(x) for x in inst[r, lane, :target]),
+                            float(pv[i, lane]),
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # Cost accounting (value-for-value with WaveRunner._charge_step)
+    # ------------------------------------------------------------------
+    def _charge_rows(
+        self,
+        lv,
+        rows: np.ndarray,
+        present: np.ndarray,
+        prep,
+        res,
+        prof: _ProfileSoA,
+    ) -> None:
+        """Whole-column cost accounting, value-for-value with the scalar
+        charge sequence: each profile field is gathered once, updated with
+        the same additions in the same order, and scattered once."""
+        p = self.p
+        spec = p.spec
+        W = p.warp_size
+        R = len(rows)
+        seg_el = spec.segment_elements
+        op = spec.op_cycles
+        busy = present.sum(axis=1)
+
+        c0 = prof.comp[rows]
+        m0 = prof.mem[rows]
+        y0 = prof.sync[rows]
+        cyc_before = c0 + m0 + y0
+
+        has_refine = p.has_refine
+        streaming = p.streaming and has_refine
+        nbc = lv.nb
+
+        # (1) backward-pair lookups, lockstep across the warp.  When any
+        # lane is busy the per-lane maximum is the constant nb * loads.
+        tot_lookup = busy * (nbc * _PROBE_LOADS)
+        lookup_cost = np.where(
+            tot_lookup > 0,
+            (nbc * _PROBE_LOADS) * spec.mem_latency_cycles
+            + tot_lookup * spec.issue_cycles,
+            0.0,
+        )
+
+        base_ops = float(_ITER_BASE_OPS + _SAMPLE_OPS + _VALIDATE_OPS)
+        if has_refine and not streaming and nbc > 0:
+            clen_p = np.where(present, prep.clen, 0)
+            opsv = np.where(
+                present, (base_ops + clen_p * float(_CAND_SCAN_OPS)) * op, 0.0
+            )
+            ops_max = opsv.max(axis=1)
+        else:
+            # All present lanes cost the same constant.
+            ops_max = np.where(busy > 0, base_ops * op, 0.0)
+
+        probes_p = np.where(present, res.probes, 0)
+
+        # Tracker unions.  Global levels are analytic: every present lane
+        # touches the same constant pool slot, one segment, no extra
+        # regions.  Backward levels run the row-wise interval sweep.
+        if lv.glob:
+            if lv.g_len > 0:
+                seg_counts = (busy > 0).astype(np.int64)
+            else:
+                seg_counts = np.zeros(R, dtype=np.int64)
+            extra_reg = np.zeros(R, dtype=np.int64)
+        else:
+            span_lo = np.where(present, prep.span_lo, 0)
+            span_hi = np.where(present, prep.span_hi, 0)
+            eid = np.where(present, prep.edge_id, np.int64(-1))
+            if has_refine:
+                length = np.maximum(0, span_hi - span_lo)
+                m = present & (length > 0)
+                first = span_lo // seg_el
+                last = (span_lo + length - 1) // seg_el
+                seg_counts, extra_reg = _scan_union_rows(m, eid, first, last)
+            else:
+                m = present & (span_hi > span_lo)
+                touch = (span_lo + (span_hi - span_lo) // 2) // seg_el
+                seg_counts, extra_reg = _touch_union_rows(m, eid, touch)
+
+        # (2) candidate probes — streamed (Alg. 3) or lockstep
+        seg_add = tot_lookup
+        sync_new = y0
+        comp_new = c0
+        mem_new = m0 + lookup_cost
+        if streaming:
+            clen_p = np.where(present, prep.clen, 0)
+            if nbc > 0:
+                lane_clens = clen_p
+            else:
+                lane_clens = np.zeros((R, W), dtype=np.int64)
+            rate = np.divide(
+                probes_p.astype(np.float64),
+                clen_p.astype(np.float64),
+                out=np.zeros((R, W)),
+                where=clen_p > 0,
+            )
+            threshold = p.streaming_threshold
+            limit = W if threshold is None else threshold
+            if limit <= W:
+                full = lane_clens // W
+                tail = lane_clens % W
+                partial = tail >= limit
+                rounds_per_lane = full + partial
+                remainders = np.where(partial, 0, tail)
+            else:
+                eligible = lane_clens >= limit
+                rounds_per_lane = np.where(
+                    eligible, (lane_clens - limit) // W + 1, 0
+                )
+                remainders = lane_clens - rounds_per_lane * W
+            rounds_w = rounds_per_lane.sum(axis=1)
+            ind_max = remainders.max(axis=1)
+            rate_max = rate.max(axis=1)
+            leftover = remainders * rate
+            wic_full = warp_instruction_cost(spec, spec.warp_size)
+            probe_cycles = rounds_w * rate_max * _PROBE_LOADS * wic_full
+            mem_new = mem_new + probe_cycles
+            seg_add = seg_add + np.where(
+                probe_cycles > 0,
+                np.rint(
+                    rounds_w * rate_max * _PROBE_LOADS * spec.warp_size
+                ).astype(np.int64),
+                0,
+            )
+            sync_new = sync_new + rounds_w * 5 * spec.sync_cycles
+            comp_new = comp_new + rounds_w * _CAND_SCAN_OPS * op
+            comp_new = comp_new + ind_max * _CAND_SCAN_OPS * op
+            max_leftover = leftover.max(axis=1)
+            # Lane-order fold: float accumulation order matches the scalar
+            # path's Python sum over the 32-lane list.
+            total_leftover = np.zeros(R)
+            for lane in range(W):
+                total_leftover = total_leftover + leftover[:, lane]
+            ml = max_leftover * _PROBE_LOADS
+            tl = total_leftover * _PROBE_LOADS
+            lcost = np.where(
+                tl > 0,
+                ml * spec.mem_latency_cycles + tl * spec.issue_cycles,
+                0.0,
+            )
+            mem_new = mem_new + lcost
+            seg_add = seg_add + np.rint(tl).astype(np.int64)
+            probe_costs = (probe_cycles, lcost)
+        else:
+            tp = probes_p.sum(axis=1) * _PROBE_LOADS
+            mp = probes_p.max(axis=1) * _PROBE_LOADS
+            pcost = np.where(
+                tp > 0,
+                mp * spec.mem_latency_cycles + tp * spec.issue_cycles,
+                0.0,
+            )
+            mem_new = mem_new + pcost
+            seg_add = seg_add + tp
+            probe_costs = (pcost,)
+
+        # (3) per-iteration compute, slowest lane paces the warp
+        comp_new = comp_new + ops_max
+
+        # (4) coalescing-union memory instruction
+        ucost = np.where(
+            seg_counts > 0,
+            spec.mem_latency_cycles
+            + seg_counts * spec.issue_cycles
+            + extra_reg * spec.region_miss_cycles,
+            0.0,
+        )
+        um = ucost > 0
+        mem_new = mem_new + ucost
+        seg_add = seg_add + np.where(um, seg_counts, 0)
+
+        # StallLong mirrors every memory charge: same adds, same order,
+        # from the stall column's own base.
+        sl = prof.slong[rows] + lookup_cost
+        for cost in probe_costs:
+            sl = sl + cost
+        sl = sl + ucost
+
+        prof.comp[rows] = comp_new
+        prof.mem[rows] = mem_new
+        prof.sync[rows] = sync_new
+        prof.slong[rows] = sl
+        prof.segs[rows] += seg_add
+        prof.regs[rows] += np.where(um, extra_reg, 0)
+
+        # (5) sample-sync idle lanes sit through the whole iteration
+        cyc_after = comp_new + mem_new + sync_new
+        delta = cyc_after - cyc_before
+        prof.swait[rows] += np.where(busy < W, delta * (W - busy), 0.0)
+        prof.busy[rows] += busy
+        prof.ltot[rows] += W
+        prof.iters[rows] += 1
+
+
+class FusedWarpProvider(VectorWarpProvider):
+    """`VectorWarpProvider` with the fused runner behind the same wave
+    contract — warp spawning, sharding, and quota re-runs are inherited
+    unchanged because the runner API and result tuples are identical."""
+
+    def _make_runner(self, engine):
+        return FusedRunner(self.kernel, self.params, engine._fused_arena())
+
+
+def runner_for_kernel(
+    kernel,
+    params: WaveParams,
+    scratch: Optional[LaneStateScratch] = None,
+    arena: Optional[FusedArena] = None,
+):
+    """The wave runner matching ``kernel``'s type — fused kernels get a
+    :class:`FusedRunner`, everything else the interpreting
+    :class:`WaveRunner`.  Shard workers use this to stay backend-agnostic:
+    the kernel tables they receive already encode the backend choice."""
+    if isinstance(kernel, FusedKernelMixin) and params.sync_mode is SyncMode.SAMPLE:
+        return FusedRunner(kernel, params, arena)
+    return WaveRunner(
+        kernel, params, scratch if scratch is not None else LaneStateScratch()
+    )

@@ -674,9 +674,7 @@ class VectorWarpProvider:
         self.engine = engine
         self.kernel: VectorKernel = engine._vector_kernel(kernel_cls, cg, order)
         self.params = wave_params_for(engine, order, collect_states)
-        self.runner = WaveRunner(
-            self.kernel, self.params, engine._lane_scratch()
-        )
+        self.runner = self._make_runner(engine)
         tpw = engine.config.tasks_per_warp
         self.max_warps = math.ceil(n_samples / tpw)
         self.states = spawn_generator_states(rng, self.max_warps)
@@ -693,6 +691,11 @@ class VectorWarpProvider:
             )
         else:
             self.results = self.runner.run_warps(self.states, self.guesses)
+
+    def _make_runner(self, engine):
+        """Runner factory — the fused provider overrides this to swap in
+        its compiled-plan runner while inheriting spawning and sharding."""
+        return WaveRunner(self.kernel, self.params, engine._lane_scratch())
 
     def shard_of(self, w: int) -> int:
         """Shard owning warp ``w`` (round-robin, hedges rotate the map)."""

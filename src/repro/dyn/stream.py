@@ -88,7 +88,8 @@ class PreferentialGrowthStream:
         picked: List[Tuple[int, int]] = []
         seen = set()
         guard = 0
-        while len(picked) < self.edges_per_batch and guard < 200 * self.edges_per_batch + 100:
+        guard_limit = 200 * self.edges_per_batch + 100
+        while len(picked) < self.edges_per_batch and guard < guard_limit:
             guard += 1
             u = int(gen.choice(n, p=weights))
             v = int(gen.integers(0, n))

@@ -119,7 +119,10 @@ class CPUSamplingRunner:
         n_q = len(order)
         target_depth = n_q if max_depth is None else min(max_depth, n_q)
 
-        if self.backend == "vectorized":
+        # The CPU runner has no compiled-plan path; "fused" means the same
+        # batch mode the vectorized backend uses (the fused/vectorized
+        # distinction is a GPU-engine wave-execution concern).
+        if self.backend in ("vectorized", "fused"):
             kernel_cls = _kernel_for(self.estimator)
             if kernel_cls is not None:
                 return self._run_vectorized(

@@ -488,7 +488,13 @@ def kernel_from_tables(
     """Rebuild a step-identical kernel from a :func:`kernel_tables`
     snapshot without re-deriving anything from a candidate graph (the
     arrays may be zero-copy shared-memory views)."""
-    cls = _KERNEL_CLASSES[str(meta["cls"])]
+    name = str(meta["cls"])
+    if name not in _KERNEL_CLASSES:
+        # Fused kernel classes register on first import; a shard worker
+        # that has only imported this module needs the side effect.
+        import repro.estimators.fused  # noqa: F401
+
+    cls = _KERNEL_CLASSES[name]
     kernel = cls.__new__(cls)
     kernel.cg = None  # type: ignore[assignment]
     kernel.order = None  # type: ignore[assignment]

@@ -19,10 +19,9 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.fused import runner_for_kernel
 from repro.core.vectorized import (
-    LaneStateScratch,
     WaveParams,
-    WaveRunner,
     WarpResult,
 )
 from repro.estimators.vectorized import kernel_from_tables
@@ -33,7 +32,9 @@ from repro.utils.rng import GeneratorState
 class ShardRuntime:
     """One plan's per-worker state: rebuilt kernel + persistent runner.
 
-    The scratch (and therefore the lane-state arrays) persists across
+    The runner matches the kernel's backend (fused kernels get the
+    compiled-plan runner, vector kernels the wave interpreter), and its
+    scratch — lane-state arrays or the fused arena — persists across
     rounds, the same reuse the in-process path gets.
     """
 
@@ -42,7 +43,7 @@ class ShardRuntime:
         params: WaveParams,
     ) -> None:
         self.kernel = kernel_from_tables(dict(meta), arrays)
-        self.runner = WaveRunner(self.kernel, params, LaneStateScratch())
+        self.runner = runner_for_kernel(self.kernel, params)
 
     def run(
         self, states: Sequence[GeneratorState], quotas: Sequence[int]

@@ -602,7 +602,7 @@ class EstimationService:
                 batch_ms=result.batch_ms,
             )
             self.metrics.record_backends(
-                [r.backend for r in result.round_results if r is not None]
+                [r.backend_label for r in result.round_results if r is not None]
             )
             self.metrics.record_shards(
                 [r.n_shards for r in result.round_results if r is not None]

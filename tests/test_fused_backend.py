@@ -1,0 +1,335 @@
+"""Fused-backend edge cases: plan compilation, the fallback ladder,
+scratch-arena reuse, and the row-wise union counter.
+
+The broad bit-identity matrix lives in ``test_backend_equivalence.py``
+(BACKENDS includes ``fused``, so every parametrised case there already
+runs the compiled plans).  This module pins the corners that matrix does
+not reach: single-level plans, estimators with no fused kernel, silent
+fallbacks and their ``backend_label``, arena allocation plateaus, and the
+union/contains kernels against their reference implementations.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.candidate.candidate_graph import build_candidate_graph
+from repro.core.config import EngineConfig, SyncMode
+from repro.core.engine import GPURunResult, GSWORDEngine
+from repro.core.fused import (
+    FusedArena,
+    FusedRunner,
+    _scan_union_rows,
+    _touch_union_rows,
+    runner_for_kernel,
+)
+from repro.core.vectorized import WaveRunner
+from repro.estimators.alley import AlleyEstimator
+from repro.estimators.fused import (
+    HAVE_NUMBA,
+    FusedAlleyKernel,
+    FusedWanderJoinKernel,
+    fused_contains,
+    fused_kernel_for,
+)
+from repro.estimators.vectorized import ragged_contains
+from repro.estimators.wanderjoin import WanderJoinEstimator
+from repro.gpu.costmodel import DEFAULT_GPU
+from repro.gpu.memory import (
+    ARRAY_GLOBAL_CANDIDATES,
+    ARRAY_LOCAL_CANDIDATES,
+    batched_union_counts,
+)
+from repro.graph.datasets import load_dataset
+from repro.query.extract import extract_query
+from repro.query.matching_order import quicksi_order
+from repro.serve.metrics import ServiceMetrics
+
+_PROFILE_FIELDS = (
+    "compute_cycles", "mem_cycles", "sync_cycles", "stall_long",
+    "stall_wait", "mem_segments", "region_misses", "lane_busy",
+    "lane_total", "iterations",
+)
+
+
+@pytest.fixture(scope="module")
+def plan6():
+    graph = load_dataset("yeast")
+    query = extract_query(graph, 6, rng=11, name="fused-q6")
+    cg = build_candidate_graph(graph, query)
+    assert not cg.is_empty()
+    return cg, quicksi_order(query, graph)
+
+
+def _run(estimator, config, cg, order, n=192, seed=7):
+    engine = GSWORDEngine(estimator, config=config)
+    return engine.run(cg, order, n, rng=seed, collect_states=True)
+
+
+def assert_identical(a, b):
+    assert a.estimate == b.estimate
+    assert a.n_samples == b.n_samples
+    assert a.n_valid == b.n_valid
+    assert a.simulated_ms() == b.simulated_ms()
+    for field in _PROFILE_FIELDS:
+        assert getattr(a.profile.warp, field) == getattr(b.profile.warp, field)
+    assert a.collected == b.collected
+
+
+class TestPlanEdges:
+    def test_single_level_plan(self, plan6):
+        """max_depth=1 compiles a one-level (global root) plan and stays
+        bit-identical to the scalar path."""
+        cg, order = plan6
+        for est_cls in (WanderJoinEstimator, AlleyEstimator):
+            fus = _run(
+                est_cls(),
+                EngineConfig.gsword(backend="fused", max_depth=1),
+                cg, order,
+            )
+            sca = _run(
+                est_cls(),
+                EngineConfig.gsword(backend="scalar", max_depth=1),
+                cg, order,
+            )
+            assert fus.backend == "fused"
+            assert_identical(fus, sca)
+
+    def test_plan_cached_per_target(self, plan6):
+        cg, order = plan6
+        kernel = FusedWanderJoinKernel(cg, order)
+        assert kernel.compile_plan(4) is kernel.compile_plan(4)
+        assert kernel.compile_plan(4) is not kernel.compile_plan(3)
+        assert len(kernel.compile_plan(3).levels) == 3
+
+    def test_plan_ir_json_serializable(self, plan6):
+        cg, order = plan6
+        for kernel_cls in (FusedWanderJoinKernel, FusedAlleyKernel):
+            plan = kernel_cls(cg, order).compile_plan(len(order))
+            ir = plan.to_ir()
+            roundtrip = json.loads(json.dumps(ir))
+            assert roundtrip["kernel"] == kernel_cls.__name__
+            assert roundtrip["target"] == len(order)
+            assert len(roundtrip["levels"]) == len(order)
+            assert roundtrip["levels"][0]["kind"] == "global"
+            for level in roundtrip["levels"]:
+                if level["kind"] == "backward":
+                    assert len(level["pairs"]) == level["n_backward"]
+
+
+class TestFallbackLadder:
+    def test_custom_estimator_falls_back_to_scalar(self, plan6):
+        """Subclasses may override any RSV hook, so no compiled or vector
+        kernel applies: the run lands on the scalar rung."""
+        cg, order = plan6
+
+        class TweakedWJ(WanderJoinEstimator):
+            pass
+
+        assert fused_kernel_for(TweakedWJ()) is None
+        res = _run(
+            TweakedWJ(), EngineConfig.gsword(backend="fused"), cg, order
+        )
+        ref = _run(
+            WanderJoinEstimator(),
+            EngineConfig.gsword(backend="scalar"),
+            cg, order,
+        )
+        assert res.backend == "scalar"
+        assert res.backend_label == "fused_fallback_scalar"
+        assert_identical(res, ref)
+
+    def test_iteration_sync_falls_back_to_vectorized(self, plan6):
+        """The compiled schedule needs depth lockstep; gpu_baseline runs
+        iteration sync, so fused degrades one rung, not two."""
+        cg, order = plan6
+        res = _run(
+            AlleyEstimator(),
+            EngineConfig.gpu_baseline(backend="fused"),
+            cg, order,
+        )
+        ref = _run(
+            AlleyEstimator(),
+            EngineConfig.gpu_baseline(backend="scalar"),
+            cg, order,
+        )
+        assert res.backend == "vectorized"
+        assert res.backend_label == "fused_fallback_vectorized"
+        assert_identical(res, ref)
+
+    def test_runner_for_kernel_matches_sync_mode(self, plan6):
+        cg, order = plan6
+        kernel = FusedAlleyKernel(cg, order)
+        sample = _params(len(order), SyncMode.SAMPLE)
+        assert isinstance(runner_for_kernel(kernel, sample), FusedRunner)
+        iteration = _params(len(order), SyncMode.ITERATION)
+        assert isinstance(runner_for_kernel(kernel, iteration), WaveRunner)
+        with pytest.raises(ValueError):
+            FusedRunner(kernel, iteration)
+
+    def test_backend_label_spelling(self):
+        assert _result("fused").backend_label == "fused"
+        assert _result("fused", "fused").backend_label == "fused"
+        assert (
+            _result("vectorized", "fused").backend_label
+            == "fused_fallback_vectorized"
+        )
+        assert (
+            _result("scalar", "fused").backend_label
+            == "fused_fallback_scalar"
+        )
+
+    def test_rounds_by_backend_metric_counts_labels(self):
+        metrics = ServiceMetrics()
+        metrics.record_backends(
+            ["fused", "fused", "fused_fallback_vectorized", "scalar"]
+        )
+        assert metrics.rounds_by_backend == {
+            "fused": 2,
+            "fused_fallback_vectorized": 1,
+            "scalar": 1,
+        }
+
+
+def _result(backend, requested=""):
+    from repro.estimators.ht import HTAccumulator
+    from repro.gpu.profiler import KernelProfile
+
+    return GPURunResult(
+        estimate=0.0, n_samples=0, n_root_samples=0, n_valid=0,
+        accumulator=HTAccumulator(), profile=KernelProfile(), n_warps=0,
+        tasks_per_warp=1, longest_warp_cycles=0.0, spec=DEFAULT_GPU,
+        backend=backend, requested_backend=requested,
+    )
+
+
+def _params(target, sync_mode):
+    from repro.core.vectorized import WaveParams
+
+    return WaveParams(
+        spec=DEFAULT_GPU,
+        sync_mode=sync_mode,
+        inheritance=sync_mode is SyncMode.SAMPLE,
+        streaming=False,
+        streaming_threshold=32,
+        target=target,
+        n_q=target,
+        warp_size=DEFAULT_GPU.warp_size,
+        has_refine=True,
+        collect_states=False,
+    )
+
+
+class TestArenaReuse:
+    def test_engine_arena_is_engine_lifetime(self, plan6):
+        cg, order = plan6
+        engine = GSWORDEngine(
+            AlleyEstimator(), config=EngineConfig.gsword(backend="fused")
+        )
+        arena = engine._fused_arena()
+        assert arena is engine._fused_arena()
+        engine.run(cg, order, 96, rng=1)
+        assert arena.n_allocations > 0
+        assert arena is engine._fused_arena()
+
+    def test_allocations_plateau_across_rounds(self, plan6):
+        """A wave as large as any before allocates nothing — including
+        after rounds with a different warp count."""
+        cg, order = plan6
+        engine = GSWORDEngine(
+            WanderJoinEstimator(),
+            config=EngineConfig.gsword(backend="fused"),
+        )
+        engine.run(cg, order, 512, rng=1)
+        arena = engine._fused_arena()
+        high_water = arena.n_allocations
+        engine.run(cg, order, 96, rng=2)   # fewer warps: reuse slices
+        engine.run(cg, order, 512, rng=3)  # back to the high-water mark
+        assert arena.n_allocations == high_water
+
+    def test_arena_grows_then_reuses(self):
+        arena = FusedArena()
+        a = arena.take("buf", (4, 8), np.int64)
+        assert arena.n_allocations == 1
+        b = arena.take("buf", (2, 8), np.int64)
+        assert arena.n_allocations == 1  # smaller: sliced from the same buffer
+        assert b.base is a.base or b.base is a
+        arena.take("buf", (8, 8), np.int64)
+        assert arena.n_allocations == 2  # grew: one real allocation
+        arena.take("buf", (8, 8), np.float64)
+        assert arena.n_allocations == 3  # dtype change reallocates
+        z = arena.zeros("buf", (8, 8), np.float64)
+        assert arena.n_allocations == 3
+        assert not z.any()
+
+
+class TestKernelsAgainstReference:
+    def test_fused_contains_matches_ragged_contains(self):
+        rng = np.random.default_rng(42)
+        arr = np.sort(rng.integers(0, 500, size=400))
+        lo = rng.integers(0, 380, size=1000)
+        hi = np.minimum(400, lo + rng.integers(0, 40, size=1000))
+        vals = rng.integers(0, 500, size=1000)
+        np.testing.assert_array_equal(
+            fused_contains(arr, lo, hi, vals),
+            ragged_contains(arr, lo, hi, vals),
+        )
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_jit_contains_matches_ragged_contains(self):
+        """When the optional JIT is present both paths must agree (the
+        numpy fallback is the reference)."""
+        from repro.estimators.fused import _nb_contains
+
+        rng = np.random.default_rng(7)
+        arr = np.sort(rng.integers(0, 200, size=150))
+        lo = rng.integers(0, 140, size=300).astype(np.int64)
+        hi = np.minimum(150, lo + rng.integers(0, 30, size=300))
+        vals = rng.integers(0, 200, size=300).astype(np.int64)
+        np.testing.assert_array_equal(
+            _nb_contains(arr, lo, hi, vals),
+            ragged_contains(arr, lo, hi, vals),
+        )
+
+    def test_union_rows_match_batched_union_counts(self):
+        """The fused runner's row-wise union sweep must count exactly what
+        the global-sort reference counts, for both charge shapes."""
+        rng = np.random.default_rng(2024)
+        spec = DEFAULT_GPU
+        R, W = 13, spec.warp_size
+        for trial in range(20):
+            m = rng.random((R, W)) < rng.random()
+            eid = np.where(
+                rng.random((R, W)) < 0.2,
+                np.int64(-1),
+                rng.integers(0, 6, size=(R, W)),
+            )
+            starts = rng.integers(0, 4000, size=(R, W))
+            lengths = rng.integers(1, 200, size=(R, W))
+            aid = np.where(
+                eid >= 0, ARRAY_LOCAL_CANDIDATES, ARRAY_GLOBAL_CANDIDATES
+            )
+            rows, lanes = np.nonzero(m)
+            none = np.zeros(0, dtype=np.int64)
+
+            # Scan shape (refine estimators): one [start, start+len) span.
+            first = starts // spec.segment_elements
+            last = (starts + lengths - 1) // spec.segment_elements
+            segs, extra = _scan_union_rows(m, eid, first, last)
+            ref_segs, ref_extra = batched_union_counts(
+                spec, R, rows, aid[m], eid[m], starts[m], lengths[m],
+                none, none, none, none,
+            )
+            np.testing.assert_array_equal(segs, ref_segs, err_msg=f"t{trial}")
+            np.testing.assert_array_equal(extra, ref_extra)
+
+            # Touch shape (validate probes): one single-element position.
+            touch = starts // spec.segment_elements
+            segs, extra = _touch_union_rows(m, eid, touch)
+            ref_segs, ref_extra = batched_union_counts(
+                spec, R, none, none, none, none, none,
+                rows, aid[m], eid[m], starts[m],
+            )
+            np.testing.assert_array_equal(segs, ref_segs)
+            np.testing.assert_array_equal(extra, ref_extra)
