@@ -24,6 +24,13 @@ against the checked-in baselines in ``benchmarks/baselines.json``:
   WanderJoin floor (2.0×; WJ spends a hard floor of its wall inside
   per-warp ``Generator.integers`` calls both backends must replay
   identically, which caps its ratio below Alley's).
+* **counter-mode fused gates** — the same saturating workload runs with
+  ``rng_mode="counter"`` (:mod:`repro.utils.lanerng`), where draws are
+  pure functions of (lane key, counter) batched in one Philox pass per
+  wave — no replay floor — so BOTH estimators must clear the full 3.0×
+  bar.  Its deterministic values pin a separate ``fused_counter``
+  baseline section; refresh it alone (sequential entries byte-identical)
+  with ``--update-counter-baselines``.
 
 * **sharding gates** — one saturating workload runs at 1 and 4 shards:
   estimates and simulated milliseconds must be bit-identical, the
@@ -102,6 +109,13 @@ FUSED_WALL_REPEATS = 3
 FUSED_DATASET = "dblp"
 FUSED_K = 6
 FUSED_WJ_MIN_SPEEDUP = 2.0
+# Counter mode lifts the Generator.integers replay floor (draws become
+# pure functions of (lane key, counter), batched in one Philox pass per
+# wave), so WanderJoin clears the same 3x bar as Alley there.  The
+# counter gate runs the identical workload with rng_mode="counter" and
+# pins its own baseline section ("fused_counter"), refreshed via
+# --update-counter-baselines without touching the sequential entries.
+FUSED_COUNTER_MIN_SPEEDUP = 3.0
 
 # Sharding gate workload: must be throughput-bound (many small balanced
 # warps, per-shard warp counts above device residency) or the modeled
@@ -188,12 +202,13 @@ def measure() -> dict:
     return {"format": 1, "seed": SEED, "n_samples": N_SAMPLES, "entries": entries}
 
 
-def _run_fused_gate_case(estimator_cls, backend: str):
+def _run_fused_gate_case(estimator_cls, backend: str, rng_mode: str = "sequential"):
     workload = build_workload(FUSED_DATASET, FUSED_K, "dense", 0)
     engine = GSWORDEngine(
         estimator_cls(),
         EngineConfig.gsword(
-            backend=backend, tasks_per_warp=FUSED_TASKS_PER_WARP
+            backend=backend, tasks_per_warp=FUSED_TASKS_PER_WARP,
+            rng_mode=rng_mode,
         ),
     )
     # Warmup compiles the plan / builds kernel tables outside the timing.
@@ -210,35 +225,39 @@ def _run_fused_gate_case(estimator_cls, backend: str):
     return result, best_wall * 1000.0
 
 
-def measure_fused() -> dict:
+def measure_fused(rng_mode: str = "sequential") -> dict:
     """Run the saturating fused-gate workload on both vector backends.
 
     Aborts outright when fused output diverges from vectorized or when the
     engine silently fell back to the interpreter — both void the gate.
     """
+    tag = "fused" if rng_mode == "sequential" else "fused_counter"
     out = {
         "dataset": FUSED_DATASET,
         "k": FUSED_K,
         "n_samples": FUSED_N_SAMPLES,
         "tasks_per_warp": FUSED_TASKS_PER_WARP,
+        "rng_mode": rng_mode,
     }
     for label, estimator_cls in (
         ("alley", AlleyEstimator), ("wj", WanderJoinEstimator)
     ):
-        vec, vec_wall = _run_fused_gate_case(estimator_cls, "vectorized")
-        fus, fus_wall = _run_fused_gate_case(estimator_cls, "fused")
+        vec, vec_wall = _run_fused_gate_case(
+            estimator_cls, "vectorized", rng_mode
+        )
+        fus, fus_wall = _run_fused_gate_case(estimator_cls, "fused", rng_mode)
         if (
             fus.estimate != vec.estimate
             or fus.simulated_ms() != vec.simulated_ms()
         ):
             raise SystemExit(
-                f"fused[{label}]: backends disagree (estimate {fus.estimate} "
+                f"{tag}[{label}]: backends disagree (estimate {fus.estimate} "
                 f"vs {vec.estimate}, simulated {fus.simulated_ms()} vs "
                 f"{vec.simulated_ms()}) — equivalence broken"
             )
         if fus.backend != "fused":
             raise SystemExit(
-                f"fused[{label}]: gate run fell back to {fus.backend!r} "
+                f"{tag}[{label}]: gate run fell back to {fus.backend!r} "
                 f"({fus.backend_label}) — cannot gate the compiled plan"
             )
         out[f"estimate_{label}"] = fus.estimate
@@ -274,6 +293,31 @@ def compare_fused(cur: dict, base: dict, min_fused_speedup: float) -> list:
             f"{cur['fused_speedup_wj']:.2f}x faster than vectorized "
             f"(floor: {FUSED_WJ_MIN_SPEEDUP:.2f}x)"
         )
+    return failures
+
+
+def compare_fused_counter(cur: dict, base: dict) -> list:
+    """Counter mode holds BOTH estimators to the full compiled-plan bar:
+    with no ``Generator.integers`` replay floor, WanderJoin has no excuse."""
+    failures = []
+    if not base:
+        return [
+            "fused_counter: no baseline section "
+            "(run --update-counter-baselines)"
+        ]
+    for label in ("alley", "wj"):
+        for key in (f"estimate_{label}", f"simulated_ms_{label}"):
+            if cur[key] != base.get(key):
+                failures.append(
+                    f"fused_counter: {key} {cur[key]} != baseline "
+                    f"{base.get(key)} (deterministic — must match exactly)"
+                )
+        if cur[f"fused_speedup_{label}"] < FUSED_COUNTER_MIN_SPEEDUP:
+            failures.append(
+                f"fused_counter: {label} compiled plan only "
+                f"{cur[f'fused_speedup_{label}']:.2f}x faster than "
+                f"vectorized (gate: {FUSED_COUNTER_MIN_SPEEDUP:.2f}x)"
+            )
     return failures
 
 
@@ -575,6 +619,12 @@ def main(argv=None) -> int:
         help="write current measurements to benchmarks/baselines.json",
     )
     parser.add_argument(
+        "--update-counter-baselines", action="store_true",
+        help="merge ONLY the counter-mode fused-gate section into "
+        "benchmarks/baselines.json, leaving every sequential entry "
+        "untouched (no re-measurement churn on unrelated baselines)",
+    )
+    parser.add_argument(
         "--wall-tolerance", type=float, default=4.0,
         help="max allowed wall-clock ratio vs baseline (default 4.0)",
     )
@@ -593,6 +643,22 @@ def main(argv=None) -> int:
         "this JSON file (uploaded as a CI artifact)",
     )
     args = parser.parse_args(argv)
+
+    if args.update_counter_baselines:
+        if not BASELINE_PATH.is_file():
+            print("no baselines.json — run with --update-baselines first")
+            return 1
+        fused_counter = measure_fused(rng_mode="counter")
+        baseline = json.loads(BASELINE_PATH.read_text())
+        baseline["fused_counter"] = fused_counter
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(
+            f"{'fused_counter_gate':<20} "
+            f"alley={fused_counter['fused_speedup_alley']:.2f}x "
+            f"wj={fused_counter['fused_speedup_wj']:.2f}x"
+        )
+        print(f"counter baselines merged into {BASELINE_PATH}")
+        return 0
 
     current = measure()
     for name, entry in current["entries"].items():
@@ -614,6 +680,17 @@ def main(argv=None) -> int:
         f"{fused['wall_ms_vectorized_wj']:.0f}ms, fused "
         f"{fused['wall_ms_fused_alley']:.0f}/"
         f"{fused['wall_ms_fused_wj']:.0f}ms)"
+    )
+    fused_counter = measure_fused(rng_mode="counter")
+    current["fused_counter"] = fused_counter
+    print(
+        f"{'fused_counter_gate':<20} "
+        f"alley={fused_counter['fused_speedup_alley']:.2f}x "
+        f"wj={fused_counter['fused_speedup_wj']:.2f}x "
+        f"(vec {fused_counter['wall_ms_vectorized_alley']:.0f}/"
+        f"{fused_counter['wall_ms_vectorized_wj']:.0f}ms, fused "
+        f"{fused_counter['wall_ms_fused_alley']:.0f}/"
+        f"{fused_counter['wall_ms_fused_wj']:.0f}ms)"
     )
     if args.plan_out is not None:
         dump_plan_ir(args.plan_out)
@@ -660,6 +737,9 @@ def main(argv=None) -> int:
     )
     failures += compare_fused(
         fused, baseline.get("fused", {}), args.min_fused_speedup
+    )
+    failures += compare_fused_counter(
+        fused_counter, baseline.get("fused_counter", {})
     )
     failures += compare_sharding(sharding, baseline.get("sharding", {}))
     failures += compare_tracing(tracing)

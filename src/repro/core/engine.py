@@ -38,6 +38,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.estimators.base import (
+    DrawSource,
     RSVEstimator,
     SampleOutcome,
     SampleState,
@@ -55,6 +56,7 @@ from repro.gpu.memory import (
 from repro.gpu.profiler import KernelProfile, WarpProfile
 from repro.obs.trace import NO_TRACE, TraceRecorder
 from repro.query.matching_order import MatchingOrder
+from repro.utils.lanerng import spawn_lane_rngs
 from repro.utils.rng import (
     RandomSource,
     as_generator,
@@ -273,9 +275,15 @@ class GSWORDEngine:
         provider, exec_backend = self._warp_provider(
             cg, order, n_samples, rng, collect_states, shard_offset
         )
-        warp_rngs = (
-            spawn_generators(rng, max_warps) if provider is None else []
-        )
+        if provider is not None:
+            warp_rngs = []
+        elif self.config.rng_mode == "counter":
+            # Counter mode: same spawned children, but each warp draws from
+            # a pure (key, draw_index) Philox stream instead of a mutating
+            # PCG64 generator — the scalar reference for the batch paths.
+            warp_rngs = spawn_lane_rngs(spawn_generator_states(rng, max_warps))
+        else:
+            warp_rngs = spawn_generators(rng, max_warps)
         kernel = KernelProfile()
         acc = HTAccumulator()
         collected: List[Tuple[Tuple[int, ...], float]] = []
@@ -538,7 +546,7 @@ class GSWORDEngine:
         cg: CandidateGraph,
         order: MatchingOrder,
         pool: int,
-        rng: np.random.Generator,
+        rng: DrawSource,
         collect_states: bool,
     ):
         if self.config.sync_mode is SyncMode.SAMPLE:
@@ -550,7 +558,7 @@ class GSWORDEngine:
         cg: CandidateGraph,
         order: MatchingOrder,
         pool: int,
-        rng: np.random.Generator,
+        rng: DrawSource,
         collect_states: bool,
     ):
         W = self.spec.warp_size
@@ -632,7 +640,7 @@ class GSWORDEngine:
         cg: CandidateGraph,
         order: MatchingOrder,
         pool: int,
-        rng: np.random.Generator,
+        rng: DrawSource,
         collect_states: bool,
     ):
         W = self.spec.warp_size

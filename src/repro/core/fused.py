@@ -52,6 +52,7 @@ from repro.core.vectorized import (
     LaneStateScratch,
     VectorWarpProvider,
     WarpResult,
+    WarpState,
     WaveParams,
     WaveRunner,
 )
@@ -63,7 +64,8 @@ from repro.gpu.memory import (
     warp_instruction_cost,
 )
 from repro.gpu.profiler import WarpProfile
-from repro.utils.rng import GeneratorState, generator_from_state
+from repro.utils.lanerng import philox_bounded, warp_keys
+from repro.utils.rng import generator_from_state
 
 #: Warps processed per fused wave.  The dense SoA state is small (a few
 #: hundred bytes per warp), so the fused runner takes much wider waves
@@ -238,7 +240,7 @@ class FusedRunner:
         self.plan: FusedPlan = kernel.compile_plan(params.target)
 
     def run_warps(
-        self, states: Sequence[GeneratorState], quotas: Sequence[int]
+        self, states: Sequence[WarpState], quotas: Sequence[int]
     ) -> List[WarpResult]:
         results: List[WarpResult] = []
         for lo in range(0, len(states), _FUSED_WAVE_CHUNK):
@@ -250,15 +252,26 @@ class FusedRunner:
     # Wave loop
     # ------------------------------------------------------------------
     def _wave(
-        self, states: Sequence[GeneratorState], quotas: Sequence[int]
+        self, states: Sequence[WarpState], quotas: Sequence[int]
     ) -> List[WarpResult]:
         p = self.p
         K = len(states)
         W, target, n_q = p.warp_size, p.target, p.n_q
         ar = self.arena
-        # Bound `integers` methods: the draw loop calls one per warp per
-        # step, and attribute lookup on Generator is measurable at scale.
-        igs = [generator_from_state(s).integers for s in states]
+        if p.rng_mode == "counter":
+            # Counter streams: a (K, 2) key table plus one running draw
+            # index per warp replaces K generator objects — the whole
+            # wave's draws become a single Philox pass per super-step.
+            keys = warp_keys(states)
+            igs = (
+                keys[:, 0].astype(np.uint64),
+                keys[:, 1].astype(np.uint64),
+                ar.zeros("dcount", (K,), np.int64),
+            )
+        else:
+            # Bound `integers` methods: the draw loop calls one per warp per
+            # step, and attribute lookup on Generator is measurable at scale.
+            igs = [generator_from_state(s).integers for s in states]
 
         inst = ar.take("inst", (K, W, n_q), np.int64)
         prob = ar.take("prob", (K, W), np.float64)
@@ -367,7 +380,7 @@ class FusedRunner:
         prob: np.ndarray,
         running: np.ndarray,
         valid: np.ndarray,
-        igs: List,
+        igs,
         prof: _ProfileSoA,
     ) -> None:
         lv = self.plan.levels[d]
@@ -393,19 +406,35 @@ class FusedRunner:
         self,
         rows: np.ndarray,
         rlen: np.ndarray,
-        igs: List,
+        igs,
     ) -> np.ndarray:
-        """Per-warp array-bound draws — each warp's own generator consumes
-        the identical bound array the scalar path feeds it.
+        """Per-warp draws for one depth group.
 
-        The drawable bounds of all rows are gathered once (row-major, so
-        each row's slice is its positive bounds in ascending lane order —
-        the scalar ``bounds[drawable]``) and each warp's pre-bound
+        Sequential mode: each warp's own generator consumes the identical
+        bound array the scalar path feeds it.  The drawable bounds of all
+        rows are gathered once (row-major, so each row's slice is its
+        positive bounds in ascending lane order — the scalar
+        ``bounds[drawable]``) and each warp's pre-bound
         ``Generator.integers`` draws from a contiguous view; per-row numpy
         work is one slice and one ``integers`` call.
+
+        Counter mode: the entire group is one Philox pass — lane ``j`` of
+        warp ``r`` draws counter ``dcount[r] + (rank of j among r's
+        drawable lanes)``, the same accounting the scalar ``LaneRNG`` and
+        the interpreting backend use, so all three stay bit-identical.
         """
         idx = np.full(rlen.shape, -1, dtype=np.int64)
         mask = rlen > 0
+        if self.p.rng_mode == "counter":
+            k0, k1, dcount = igs
+            ri, _ = np.nonzero(mask)
+            if len(ri):
+                pos = (np.cumsum(mask, axis=1) - 1)[mask]
+                g = rows[ri]
+                ctr = dcount[g].astype(np.uint64) + pos.astype(np.uint64)
+                idx[mask] = philox_bounded(k0[g], k1[g], ctr, rlen[mask])
+                dcount[rows] += mask.sum(axis=1)
+            return idx
         counts = mask.sum(axis=1).tolist()
         flat_bounds = rlen[mask]
         off = 0

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -63,12 +63,17 @@ from repro.gpu.memory import (
 )
 from repro.gpu.profiler import WarpProfile
 from repro.query.matching_order import MatchingOrder
+from repro.utils.lanerng import LaneKey, LaneRNG, lane_key, philox_bounded
 from repro.utils.rng import (
     GeneratorState,
     RandomSource,
     generator_from_state,
     spawn_generator_states,
 )
+
+#: What a warp's replayable identity can be: a spawned generator state
+#: (sequential mode) or a derived Philox :class:`LaneKey` (counter mode).
+WarpState = Union[GeneratorState, LaneKey]
 
 #: Warps stepped together per wave.  Bounds transient state-array memory and
 #: keeps :func:`batched_union_counts` row keys comfortably inside int64.
@@ -99,6 +104,10 @@ class WaveParams:
     warp_size: int
     spec: GPUSpec
     collect_states: bool
+    #: Per-warp randomness source ("sequential" or "counter").  Part of the
+    #: frozen params on purpose: shard workers key their cached plan on
+    #: ``(kernel, params)``, so switching modes invalidates the plan.
+    rng_mode: str = "sequential"
 
 
 class LaneStateScratch:
@@ -161,7 +170,7 @@ class _WarpTask:
         "pool",
     )
 
-    def __init__(self, row: int, rng: np.random.Generator) -> None:
+    def __init__(self, row: int, rng: Union[np.random.Generator, LaneRNG]) -> None:
         self.row = row
         self.rng = rng
         self.profile = WarpProfile()
@@ -191,7 +200,7 @@ class WaveRunner:
         self.scratch = scratch if scratch is not None else LaneStateScratch()
 
     def run_warps(
-        self, states: Sequence[GeneratorState], quotas: Sequence[int]
+        self, states: Sequence[WarpState], quotas: Sequence[int]
     ) -> List[WarpResult]:
         """Run one warp per ``(state, quota)`` pair, chunked into waves."""
         results: List[WarpResult] = []
@@ -204,11 +213,15 @@ class WaveRunner:
     # Wave execution
     # ------------------------------------------------------------------
     def _wave(
-        self, states: Sequence[GeneratorState], quotas: Sequence[int]
+        self, states: Sequence[WarpState], quotas: Sequence[int]
     ) -> List[WarpResult]:
+        counter = self.p.rng_mode == "counter"
         tasks = []
         for row, (state, quota) in enumerate(zip(states, quotas)):
-            t = _WarpTask(row, generator_from_state(state))
+            t = _WarpTask(
+                row,
+                LaneRNG(state) if counter else generator_from_state(state),
+            )
             t.remaining = quota
             t.pool = quota
             tasks.append(t)
@@ -352,7 +365,17 @@ class WaveRunner:
     def _draw(
         self, live: List[_WarpTask], counts: np.ndarray, prep: StepPrep
     ) -> np.ndarray:
-        """Per-warp array-bound draws, lanes in ascending order."""
+        """Per-warp draws, lanes in ascending order.
+
+        Sequential mode replays each warp's PCG64 stream with one
+        array-bound ``integers`` call per warp (bit-identical to the scalar
+        path's sequential draws, including state advancement).  Counter
+        mode computes the whole super-step in a single Philox pass: every
+        drawable lane's value is a pure function of its warp key and the
+        warp's running draw index, so no per-warp dispatch remains.
+        """
+        if self.p.rng_mode == "counter":
+            return self._draw_counter(live, counts, prep)
         idx = np.full(len(prep.rlen), -1, dtype=np.int64)
         start = 0
         for t, c in zip(live, counts):
@@ -362,6 +385,42 @@ class WaveRunner:
             if len(drawable):
                 idx[drawable] = t.rng.integers(0, prep.rlen[drawable])
             start += c
+        return idx
+
+    def _draw_counter(
+        self, live: List[_WarpTask], counts: np.ndarray, prep: StepPrep
+    ) -> np.ndarray:
+        """One Philox pass for all warps in the step.
+
+        Counter accounting matches the scalar reference exactly: each warp
+        consumes one counter per *drawable* lane (``rlen > 0``), lanes
+        ascending — the same order the sequential draws happen in.
+        """
+        idx = np.full(len(prep.rlen), -1, dtype=np.int64)
+        mask = prep.rlen > 0
+        draws_per_task = np.bincount(
+            np.repeat(np.arange(len(live), dtype=np.int64), counts)[mask],
+            minlength=len(live),
+        )
+        if not mask.any():
+            return idx
+        sel = np.nonzero(mask)[0]
+        task_start = np.concatenate(
+            ([0], np.cumsum(draws_per_task)[:-1])
+        ).astype(np.int64)
+        seg_sel = np.repeat(
+            np.arange(len(live), dtype=np.int64), draws_per_task
+        )
+        pos_in_task = np.arange(len(sel), dtype=np.int64) - task_start[seg_sel]
+        base = np.array([t.rng.counter for t in live], dtype=np.uint64)
+        k0 = np.array([t.rng.key.k0 for t in live], dtype=np.uint64)
+        k1 = np.array([t.rng.key.k1 for t in live], dtype=np.uint64)
+        ctr = base[seg_sel] + pos_in_task.astype(np.uint64)
+        idx[sel] = philox_bounded(
+            k0[seg_sel], k1[seg_sel], ctr, prep.rlen[sel]
+        )
+        for t, c in zip(live, draws_per_task):
+            t.rng.counter += int(c)
         return idx
 
     @staticmethod
@@ -644,6 +703,7 @@ def wave_params_for(engine, order: MatchingOrder, collect_states: bool) -> WaveP
         warp_size=engine.spec.warp_size,
         spec=engine.spec,
         collect_states=collect_states,
+        rng_mode=config.rng_mode,
     )
 
 
@@ -677,7 +737,14 @@ class VectorWarpProvider:
         self.runner = self._make_runner(engine)
         tpw = engine.config.tasks_per_warp
         self.max_warps = math.ceil(n_samples / tpw)
-        self.states = spawn_generator_states(rng, self.max_warps)
+        self.states: List[WarpState] = list(
+            spawn_generator_states(rng, self.max_warps)
+        )
+        if self.params.rng_mode == "counter":
+            # Ship derived lane keys instead of SeedSequence objects: a
+            # key is a pure function of its spawned child, tiny on the
+            # shard pipes, and replays with no state to clone.
+            self.states = [lane_key(s) for s in self.states]
         self.guesses = [
             min(tpw, n_samples - w * tpw) for w in range(self.max_warps)
         ]

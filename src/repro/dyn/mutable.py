@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.csr import CSRGraph
-from repro.utils.rng import RandomSource, as_generator
+from repro.utils.rng import DrawLedger, RandomSource, as_generator
 
 _MASK64 = (1 << 64) - 1
 
@@ -437,12 +437,17 @@ class MutableGraph:
             return np.zeros((0, 2), dtype=np.int64)
         out: List[Tuple[int, int]] = []
         guard = 0
-        while len(out) < k and guard < 200 * k + 1000:
-            guard += 1
-            u = int(gen.integers(0, n))
-            v = int(gen.integers(0, n))
-            if u != v and not self.has_edge(u, v):
-                out.append((min(u, v), max(u, v)))
+        # Ledgered (see :class:`repro.utils.rng.DrawLedger`): the churn
+        # streams call this every batch with a shared generator, so the
+        # rejection loop must consume the stream exactly as the scalar
+        # draws did — the ledger batches the fetches without moving them.
+        with DrawLedger(gen) as led:
+            while len(out) < k and guard < 200 * k + 1000:
+                guard += 1
+                u = led.integers(0, n)
+                v = led.integers(0, n)
+                if u != v and not self.has_edge(u, v):
+                    out.append((min(u, v), max(u, v)))
         return np.asarray(out, dtype=np.int64).reshape(-1, 2)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -25,13 +25,19 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.candidate.candidate_graph import CandidateGraph
-from repro.core.config import BACKENDS, default_backend
+from repro.core.config import (
+    BACKENDS,
+    RNG_MODES,
+    default_backend,
+    default_rng_mode,
+)
 from repro.errors import ConfigError
 from repro.estimators.base import RSVEstimator, SampleState, StepContext
 from repro.estimators.ht import HTAccumulator
 from repro.gpu.costmodel import CPUSpec, DEFAULT_CPU
 from repro.query.matching_order import MatchingOrder
-from repro.utils.rng import RandomSource, as_generator
+from repro.utils.lanerng import LaneRNG, lane_key
+from repro.utils.rng import RandomSource, as_generator, spawn_generator_states
 
 #: Samples advanced together by the vectorized backend.  Bounds the flat
 #: arrays the step kernels build while keeping per-step numpy overhead
@@ -72,6 +78,7 @@ class CPUSamplingRunner:
         spec: CPUSpec = DEFAULT_CPU,
         threads: int = 0,
         backend: Optional[str] = None,
+        rng_mode: Optional[str] = None,
     ) -> None:
         self.estimator = estimator
         self.spec = spec
@@ -80,6 +87,11 @@ class CPUSamplingRunner:
         if self.backend not in BACKENDS:
             raise ConfigError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        self.rng_mode = default_rng_mode() if rng_mode is None else rng_mode
+        if self.rng_mode not in RNG_MODES:
+            raise ConfigError(
+                f"rng_mode must be one of {RNG_MODES}, got {self.rng_mode!r}"
             )
 
     def _iteration_cycles(self, clen: int, probes: int, backs: int) -> float:
@@ -112,6 +124,12 @@ class CPUSamplingRunner:
         trawling-style partial sampling.
         """
         gen = as_generator(rng)
+        if self.rng_mode == "counter":
+            # One counter stream per run, keyed from a spawned child of the
+            # caller's root — the scalar loop and batch mode then share the
+            # usual CPU-runner contract (equal in distribution per seed;
+            # batch mode consumes the stream in a different order).
+            gen = LaneRNG(lane_key(spawn_generator_states(gen, 1)[0]))
         acc = HTAccumulator()
         total_cycles = 0.0
         checkpoints: Dict[int, Tuple[float, float]] = {}
@@ -166,7 +184,7 @@ class CPUSamplingRunner:
         cg: CandidateGraph,
         order: MatchingOrder,
         n_samples: int,
-        gen: np.random.Generator,
+        gen,
         checkpoint_set,
         target_depth: int,
     ) -> CPURunResult:

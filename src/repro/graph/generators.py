@@ -23,7 +23,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graph.builder import from_edge_list
 from repro.graph.csr import CSRGraph
-from repro.utils.rng import RandomSource, as_generator
+from repro.utils.rng import DrawLedger, RandomSource, as_generator
 
 
 def random_labels(
@@ -76,25 +76,32 @@ def preferential_attachment_graph(
     # Repeated-vertex list: sampling uniformly from it is sampling
     # proportional to degree.
     repeated: List[int] = list(range(m))
-    for new in range(m, n_vertices):
-        targets: Set[int] = set()
-        while len(targets) < m:
-            if repeated and gen.random() < 0.9:
-                candidate = repeated[int(gen.integers(0, len(repeated)))]
-                if hub_bias and gen.random() < hub_bias:
-                    rival = repeated[int(gen.integers(0, len(repeated)))]
-                    if degrees[rival] > degrees[candidate]:
-                        candidate = rival
-            else:  # small uniform component keeps early vertices reachable
-                candidate = int(gen.integers(0, new))
-            if candidate != new:
-                targets.add(candidate)
-        for t in targets:
-            edges.append((new, t))
-            repeated.append(new)
-            repeated.append(t)
-            degrees[new] += 1
-            degrees[t] += 1
+    # The attachment loop draws per iteration with a rejection tail
+    # (candidate == new resamples), so it cannot be a flat array draw
+    # without changing which stream positions feed which pick — and the
+    # pinned benchmark datasets are a function of those exact draws.  The
+    # ledger batches the raw-word fetches instead and accounts each draw
+    # explicitly, keeping values and final generator state bit-identical.
+    with DrawLedger(gen) as led:
+        for new in range(m, n_vertices):
+            targets: Set[int] = set()
+            while len(targets) < m:
+                if repeated and led.random() < 0.9:
+                    candidate = repeated[led.integers(0, len(repeated))]
+                    if hub_bias and led.random() < hub_bias:
+                        rival = repeated[led.integers(0, len(repeated))]
+                        if degrees[rival] > degrees[candidate]:
+                            candidate = rival
+                else:  # small uniform component keeps early vertices reachable
+                    candidate = led.integers(0, new)
+                if candidate != new:
+                    targets.add(candidate)
+            for t in targets:
+                edges.append((new, t))
+                repeated.append(new)
+                repeated.append(t)
+                degrees[new] += 1
+                degrees[t] += 1
     lab = labels if labels is not None else np.zeros(n_vertices, dtype=np.int32)
     return from_edge_list(edges, labels=lab, n_vertices=n_vertices, name=name)
 
@@ -132,25 +139,28 @@ def power_law_cluster_graph(
         repeated.append(b)
         return True
 
-    for new in range(m, n_vertices):
-        added = 0
-        last_target = -1
-        guard = 0
-        while added < m and guard < 50 * m:
-            guard += 1
-            close_triangle = (
-                last_target >= 0
-                and adjacency[last_target]
-                and gen.random() < triangle_prob
-            )
-            if close_triangle:
-                nbrs = tuple(adjacency[last_target])
-                candidate = nbrs[int(gen.integers(0, len(nbrs)))]
-            else:
-                candidate = repeated[int(gen.integers(0, len(repeated)))]
-            if connect(new, candidate):
-                added += 1
-                last_target = candidate
+    # Ledgered for the same reason as ``preferential_attachment_graph``:
+    # batched raw-word fetches, bit-identical values and final state.
+    with DrawLedger(gen) as led:
+        for new in range(m, n_vertices):
+            added = 0
+            last_target = -1
+            guard = 0
+            while added < m and guard < 50 * m:
+                guard += 1
+                close_triangle = (
+                    last_target >= 0
+                    and adjacency[last_target]
+                    and led.random() < triangle_prob
+                )
+                if close_triangle:
+                    nbrs = tuple(adjacency[last_target])
+                    candidate = nbrs[led.integers(0, len(nbrs))]
+                else:
+                    candidate = repeated[led.integers(0, len(repeated))]
+                if connect(new, candidate):
+                    added += 1
+                    last_target = candidate
     edges = [
         (u, v) for u in range(n_vertices) for v in adjacency[u] if u < v
     ]
@@ -183,11 +193,12 @@ def hub_sparse_graph(
     for u, v in tree.edges():
         edges.add((u, v))
     target = len(edges) + extra_edges
-    while len(edges) < target:
-        u = int(gen.integers(0, n_vertices))
-        v = int(gen.integers(0, n_vertices))
-        if u != v:
-            edges.add((min(u, v), max(u, v)))
+    with DrawLedger(gen) as led:
+        while len(edges) < target:
+            u = led.integers(0, n_vertices)
+            v = led.integers(0, n_vertices)
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
     lab = labels if labels is not None else np.zeros(n_vertices, dtype=np.int32)
     return from_edge_list(sorted(edges), labels=lab, n_vertices=n_vertices, name=name)
 
@@ -244,18 +255,19 @@ def ring_lattice_graph(
             edges.add((min(v, w), max(v, w)))
     if rewire_prob > 0:
         rewired: Set[Tuple[int, int]] = set()
-        for u, v in sorted(edges):
-            if gen.random() < rewire_prob:
-                for _ in range(16):
-                    w = int(gen.integers(0, n_vertices))
-                    cand = (min(u, w), max(u, w))
-                    if w != u and cand not in rewired and cand not in edges:
-                        rewired.add(cand)
-                        break
+        with DrawLedger(gen) as led:
+            for u, v in sorted(edges):
+                if led.random() < rewire_prob:
+                    for _ in range(16):
+                        w = led.integers(0, n_vertices)
+                        cand = (min(u, w), max(u, w))
+                        if w != u and cand not in rewired and cand not in edges:
+                            rewired.add(cand)
+                            break
+                    else:
+                        rewired.add((u, v))
                 else:
                     rewired.add((u, v))
-            else:
-                rewired.add((u, v))
         edges = rewired
     lab = labels if labels is not None else np.zeros(n_vertices, dtype=np.int32)
     return from_edge_list(sorted(edges), labels=lab, n_vertices=n_vertices, name=name)

@@ -29,7 +29,7 @@ from repro.errors import ConfigError, ShardFailure
 from repro.estimators.vectorized import VectorKernel, kernel_tables
 from repro.multidev.shm import SharedArrayPack
 from repro.multidev.worker import worker_loop
-from repro.utils.rng import GeneratorState
+from repro.core.vectorized import WarpState
 
 
 def shard_of(warp_index: int, n_shards: int, offset: int = 0) -> int:
@@ -193,7 +193,7 @@ class ShardedVectorExecutor:
         self,
         kernel: VectorKernel,
         params: WaveParams,
-        states: Sequence[GeneratorState],
+        states: Sequence[WarpState],
         quotas: Sequence[int],
         shard_offset: int = 0,
     ) -> List[WarpResult]:

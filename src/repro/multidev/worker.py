@@ -26,7 +26,7 @@ from repro.core.vectorized import (
 )
 from repro.estimators.vectorized import kernel_from_tables
 from repro.multidev.shm import PackManifest, attach_pack
-from repro.utils.rng import GeneratorState
+from repro.core.vectorized import WarpState
 
 
 class ShardRuntime:
@@ -46,7 +46,7 @@ class ShardRuntime:
         self.runner = runner_for_kernel(self.kernel, params)
 
     def run(
-        self, states: Sequence[GeneratorState], quotas: Sequence[int]
+        self, states: Sequence[WarpState], quotas: Sequence[int]
     ) -> List[WarpResult]:
         return self.runner.run_warps(states, quotas)
 

@@ -50,9 +50,15 @@ def spawn_generator_states(source: RandomSource, count: int) -> List[GeneratorSt
     if count < 0:
         raise ValueError("count must be non-negative")
     root = as_generator(source)
-    seed_seq = root.bit_generator.seed_seq  # type: ignore[attr-defined]
-    if seed_seq is None:  # pragma: no cover - only for exotic bit generators
-        return [int(root.integers(0, 2**63)) for _ in range(count)]
+    seed_seq = getattr(root.bit_generator, "seed_seq", None)
+    if seed_seq is None:
+        # Exotic bit generators without a seed sequence: fall back to drawn
+        # integer seeds.  Draw the full 64-bit space — a 63-bit draw would
+        # silently halve it and double the birthday-collision rate between
+        # child streams.
+        return [
+            int(root.integers(0, 2**64, dtype=np.uint64)) for _ in range(count)
+        ]
     return list(seed_seq.spawn(count))
 
 
@@ -92,6 +98,131 @@ def spawn_generators(source: RandomSource, count: int) -> List[np.random.Generat
         generator_from_state(state)
         for state in spawn_generator_states(source, count)
     ]
+
+
+class DrawLedger:
+    """Bit-exact chunked replay of a generator's scalar draw loop.
+
+    The synthetic-graph generators draw one value per Python-loop iteration
+    (``int(gen.integers(...))``, ``gen.random()``), each paying the full
+    numpy call dispatch.  Rewriting them as array draws would change which
+    stream positions feed which decision — and every pinned dataset (and
+    therefore every pinned baseline) is a function of those exact draws.
+
+    The ledger keeps the *values* and the generator's *final state*
+    bit-identical while replacing per-draw dispatch with chunked
+    ``bit_generator.random_raw`` prefetches and explicit draw accounting:
+
+    * ``random()`` consumes one raw 64-bit word — numpy's
+      ``next_uint64 >> 11`` mapping;
+    * ``integers(0, n)`` for ``n <= 2**32`` replays numpy's 32-bit Lemire
+      path, including the persistent half-word buffer PCG64 keeps across
+      calls (the low 32 bits of a raw word are used first, the high half is
+      buffered — serialized as the ``has_uint32``/``uinteger`` state keys)
+      and the threshold-rejection tail;
+    * :meth:`close` realigns the underlying bit generator to exactly the
+      words consumed, so interleaving ledgered loops with direct generator
+      calls stays deterministic.
+
+    Bit generators without a dict state carrying the half-word buffer (or
+    without ``random_raw``) fall back to direct pass-through calls.
+    """
+
+    __slots__ = (
+        "_gen", "_bg", "_entry", "_chunk",
+        "_words", "_i", "_has32", "_buf32", "_active",
+    )
+
+    def __init__(self, gen: np.random.Generator, chunk: int = 4096) -> None:
+        self._gen = gen
+        bg = gen.bit_generator
+        self._bg = bg
+        self._chunk = max(int(chunk), 16)
+        try:
+            state = bg.state
+        except (AttributeError, TypeError):
+            state = None
+        inner = state.get("state") if isinstance(state, dict) else None
+        if (
+            not isinstance(state, dict)
+            or "has_uint32" not in state
+            or "uinteger" not in state
+            or not hasattr(bg, "random_raw")
+            or not isinstance(inner, dict)
+        ):
+            self._active = False
+            return
+        self._active = True
+        self._entry = state
+        self._has32 = bool(state["has_uint32"])
+        self._buf32 = int(state["uinteger"])
+        self._words: List[int] = []
+        self._i = 0
+
+    def __enter__(self) -> "DrawLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _word(self) -> int:
+        if self._i == len(self._words):
+            self._words.extend(
+                int(w) for w in self._bg.random_raw(self._chunk)
+            )
+        w = self._words[self._i]
+        self._i += 1
+        return w
+
+    def _u32(self) -> int:
+        if self._has32:
+            self._has32 = False
+            return self._buf32
+        w = self._word()
+        self._has32 = True
+        self._buf32 = w >> 32
+        return w & 0xFFFFFFFF
+
+    def random(self) -> float:
+        if not self._active:
+            return float(self._gen.random())
+        return (self._word() >> 11) * (1.0 / 9007199254740992.0)
+
+    def integers(self, low: int, high: int) -> int:
+        """One draw from ``[low, high)`` — numpy's bounded-integer path."""
+        if not self._active:
+            return int(self._gen.integers(low, high))
+        rng = high - 1 - low
+        if rng < 0:
+            raise ValueError("high must exceed low")
+        if rng > 0xFFFFFFFF:
+            raise ValueError("DrawLedger only supports ranges <= 2**32")
+        if rng == 0:
+            return low
+        if rng == 0xFFFFFFFF:
+            return self._u32() + low
+        rng_excl = rng + 1
+        m = self._u32() * rng_excl
+        leftover = m & 0xFFFFFFFF
+        if leftover < rng_excl:
+            threshold = (2**32 - rng_excl) % rng_excl
+            while leftover < threshold:
+                m = self._u32() * rng_excl
+                leftover = m & 0xFFFFFFFF
+        return (m >> 32) + low
+
+    def close(self) -> None:
+        """Realign the bit generator to the draws actually consumed."""
+        if not self._active:
+            return
+        self._bg.state = self._entry
+        if self._i:
+            self._bg.random_raw(self._i)
+        st = self._bg.state
+        st["has_uint32"] = int(self._has32)
+        st["uinteger"] = int(self._buf32)
+        self._bg.state = st
+        self._active = False
 
 
 def derive_seed(source: RandomSource, *tokens: object) -> int:

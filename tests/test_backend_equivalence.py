@@ -11,7 +11,13 @@ optimisation presets, seeds, and query sizes.
 import pytest
 
 from repro.candidate.candidate_graph import build_candidate_graph
-from repro.core.config import BACKENDS, EngineConfig, default_backend
+from repro.core.config import (
+    BACKENDS,
+    RNG_MODES,
+    EngineConfig,
+    default_backend,
+    default_rng_mode,
+)
 from repro.core.engine import GSWORDEngine, RetryPolicy
 from repro.errors import ConfigError, DeviceFault
 from repro.estimators.alley import AlleyEstimator
@@ -19,6 +25,7 @@ from repro.estimators.cpu_runner import CPUSamplingRunner
 from repro.estimators.wanderjoin import WanderJoinEstimator
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.graph.datasets import load_dataset
+from repro.graph.generators import power_law_cluster_graph, random_labels
 from repro.query.extract import extract_query
 from repro.query.matching_order import quicksi_order
 
@@ -47,6 +54,19 @@ def plans():
         assert not cg.is_empty()
         out[k] = (cg, quicksi_order(query, graph))
     return out
+
+
+@pytest.fixture(scope="module")
+def plc_plan():
+    """A draw-sensitive workload: candidate sets wide enough that the
+    estimate depends on the sampled stream (the yeast queries above are
+    near-deterministic, which would let rng-mode bugs slip through)."""
+    labels = random_labels(300, 3, rng=1)
+    graph = power_law_cluster_graph(300, 3, 0.5, rng=2, labels=labels, name="plc")
+    query = extract_query(graph, 4, rng=4, name="plc-q4")
+    cg = build_candidate_graph(graph, query)
+    assert not cg.is_empty()
+    return cg, quicksi_order(query, graph)
 
 
 def run_backend(backend, estimator, cg, order, n, seed, **config_kwargs):
@@ -122,6 +142,80 @@ class TestEngineEquivalence:
         assert result.backend == "scalar"
         reference = run_backend("scalar", WanderJoinEstimator(), cg, order, 32, 1)
         assert_identical(result, reference)
+
+
+class TestRngModeEquivalence:
+    """The cross-backend bit-identity contract holds within each rng mode.
+
+    ``sequential`` replays numpy ``Generator.integers`` draw-for-draw;
+    ``counter`` derives every draw as a pure function of the warp's key and
+    a draw index (:mod:`repro.utils.lanerng`).  Either way scalar,
+    vectorized, and fused must agree bit-for-bit — the mode changes *which*
+    stream a warp consumes, never lets backends disagree about it.
+    """
+
+    @pytest.mark.parametrize("estimator_cls", [WanderJoinEstimator, AlleyEstimator])
+    @pytest.mark.parametrize("rng_mode", sorted(RNG_MODES))
+    def test_three_backends_bit_identical(self, plc_plan, estimator_cls, rng_mode):
+        cg, order = plc_plan
+        runs = {
+            backend: run_backend(
+                backend, estimator_cls(), cg, order, 96, 20240613,
+                rng_mode=rng_mode,
+            )
+            for backend in ("scalar", "vectorized", "fused")
+        }
+        assert runs["vectorized"].backend == "vectorized"
+        assert runs["fused"].backend == "fused"
+        assert_identical(runs["scalar"], runs["vectorized"])
+        assert_identical(runs["scalar"], runs["fused"])
+
+    def test_modes_are_distinct_streams(self, plc_plan):
+        """Sanity: switching the mode actually changes the draws."""
+        cg, order = plc_plan
+        seq = run_backend(
+            "vectorized", AlleyEstimator(), cg, order, 96, 3,
+            rng_mode="sequential",
+        )
+        ctr = run_backend(
+            "vectorized", AlleyEstimator(), cg, order, 96, 3,
+            rng_mode="counter",
+        )
+        assert seq.estimate != ctr.estimate
+
+    def test_counter_mode_odd_quota(self, plc_plan):
+        cg, order = plc_plan
+        for n in (1, 31, 41):
+            a = run_backend(
+                "scalar", AlleyEstimator(), cg, order, n, 7,
+                rng_mode="counter", tasks_per_warp=17,
+            )
+            b = run_backend(
+                "fused", AlleyEstimator(), cg, order, n, 7,
+                rng_mode="counter", tasks_per_warp=17,
+            )
+            assert_identical(a, b)
+
+    def test_counter_mode_cpu_runner_deterministic(self, plc_plan):
+        cg, order = plc_plan
+        runner = CPUSamplingRunner(
+            AlleyEstimator(), backend="scalar", rng_mode="counter"
+        )
+        a = runner.run(cg, order, 128, rng=11)
+        b = runner.run(cg, order, 128, rng=11)
+        assert a.estimate == b.estimate
+        assert a.n_valid == b.n_valid
+        # Batch mode consumes the counter stream in a different order, so
+        # it is equal in distribution, not bit-identical — but per seed it
+        # is exactly reproducible too.
+        c1 = CPUSamplingRunner(
+            AlleyEstimator(), backend="vectorized", rng_mode="counter"
+        ).run(cg, order, 128, rng=11)
+        c2 = CPUSamplingRunner(
+            AlleyEstimator(), backend="vectorized", rng_mode="counter"
+        ).run(cg, order, 128, rng=11)
+        assert c1.estimate == c2.estimate
+        assert c1.total_cycles == c2.total_cycles
 
 
 class TestCPURunnerEquivalence:
@@ -237,3 +331,21 @@ class TestBackendConfig:
         monkeypatch.setenv("REPRO_BACKEND", "scalar")
         assert default_backend() == "scalar"
         assert EngineConfig.gsword().backend == "scalar"
+
+    def test_rejects_unknown_rng_mode(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(rng_mode="philox128")
+        with pytest.raises(ConfigError):
+            CPUSamplingRunner(WanderJoinEstimator(), rng_mode="philox128")
+
+    def test_with_rng_mode(self):
+        config = EngineConfig.gsword().with_rng_mode("counter")
+        assert config.rng_mode == "counter"
+        assert EngineConfig.gsword().rng_mode == default_rng_mode()
+
+    def test_default_rng_mode_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RNG_MODE", raising=False)
+        assert default_rng_mode() == "sequential"
+        monkeypatch.setenv("REPRO_RNG_MODE", "counter")
+        assert default_rng_mode() == "counter"
+        assert EngineConfig.gsword().rng_mode == "counter"

@@ -24,7 +24,7 @@ from repro.core.fused import (
     _touch_union_rows,
     runner_for_kernel,
 )
-from repro.core.vectorized import WaveRunner
+from repro.core.vectorized import LaneStateScratch, WaveRunner, wave_params_for
 from repro.estimators.alley import AlleyEstimator
 from repro.estimators.fused import (
     HAVE_NUMBA,
@@ -33,7 +33,7 @@ from repro.estimators.fused import (
     fused_contains,
     fused_kernel_for,
 )
-from repro.estimators.vectorized import ragged_contains
+from repro.estimators.vectorized import ragged_contains, vector_kernel_for
 from repro.estimators.wanderjoin import WanderJoinEstimator
 from repro.gpu.costmodel import DEFAULT_GPU
 from repro.gpu.memory import (
@@ -45,6 +45,8 @@ from repro.graph.datasets import load_dataset
 from repro.query.extract import extract_query
 from repro.query.matching_order import quicksi_order
 from repro.serve.metrics import ServiceMetrics
+from repro.utils.lanerng import lane_key
+from repro.utils.rng import spawn_generator_states
 
 _PROFILE_FIELDS = (
     "compute_cycles", "mem_cycles", "sync_cycles", "stall_long",
@@ -333,3 +335,56 @@ class TestKernelsAgainstReference:
             )
             np.testing.assert_array_equal(segs, ref_segs)
             np.testing.assert_array_equal(extra, ref_extra)
+
+
+class TestCounterReplay:
+    """Counter-mode warps replay from bare lane keys.
+
+    The optimistic-quota path re-runs a single warp in isolation
+    (:meth:`repro.core.vectorized.VectorWarpProvider.warp`), and in
+    counter mode the warp's state is a pure ``LaneKey`` — nothing to
+    clone, no generator position to restore.  These tests pin that the
+    isolated re-run reproduces the warp's wave results bit-for-bit on
+    both the interpreting and the compiled runner.
+    """
+
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_isolated_rerun_matches_wave(self, plan6, fused):
+        cg, order = plan6
+        config = EngineConfig.gsword(rng_mode="counter")
+        engine = GSWORDEngine(WanderJoinEstimator(), config=config)
+        if fused:
+            kernel = fused_kernel_for(WanderJoinEstimator())(cg, order)
+        else:
+            kernel = vector_kernel_for(WanderJoinEstimator())(cg, order)
+        params = wave_params_for(engine, order, collect_states=False)
+        assert params.rng_mode == "counter"
+        runner = runner_for_kernel(kernel, params)
+        keys = [lane_key(s) for s in spawn_generator_states(123, 4)]
+        quotas = [32, 32, 32, 17]
+        wave = runner.run_warps(keys, quotas)
+        for w in range(4):
+            # Same key, same quota, warp alone in its wave: the per-warp
+            # draw counters make the result independent of wave packing.
+            alone = runner.run_warps([keys[w]], [quotas[w]])[0]
+            assert alone == wave[w]
+            # And replaying does not consume the key (purity).
+            again = runner.run_warps([keys[w]], [quotas[w]])[0]
+            assert again == alone
+
+    def test_engine_quota_rerun_counter_mode(self, plan6):
+        """End-to-end: inheritance shrinks optimistic quotas, forcing the
+        provider's isolated re-run path, and the run still matches the
+        scalar reference."""
+        cg, order = plan6
+        a = _run(
+            WanderJoinEstimator(),
+            EngineConfig.gsword(backend="scalar", rng_mode="counter"),
+            cg, order, n=192, seed=7,
+        )
+        b = _run(
+            WanderJoinEstimator(),
+            EngineConfig.gsword(backend="fused", rng_mode="counter"),
+            cg, order, n=192, seed=7,
+        )
+        assert_identical(a, b)

@@ -1,0 +1,167 @@
+"""Known-answer and contract tests for the counter-based lane RNG."""
+
+import numpy as np
+import pytest
+
+from repro.utils.lanerng import (
+    LaneKey,
+    LaneRNG,
+    lane_key,
+    philox4x32,
+    philox_bounded,
+    philox_words,
+    spawn_lane_rngs,
+    warp_keys,
+)
+from repro.utils.rng import spawn_generator_states
+
+# Random123 verification vectors for philox4x32-10 (kat_vectors upstream):
+# (counter, key) -> output block.
+_KATS = [
+    (
+        (0, 0, 0, 0),
+        (0, 0),
+        (0x6627E8D5, 0xE169C58D, 0xBC57AC4C, 0x9B00DBD8),
+    ),
+    (
+        (0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF),
+        (0xFFFFFFFF, 0xFFFFFFFF),
+        (0x408F276D, 0x41C83B0E, 0xA20BC7C6, 0x6D5451FD),
+    ),
+    (
+        (0x243F6A88, 0x85A308D3, 0x13198A2E, 0x03707344),
+        (0xA4093822, 0x299F31D0),
+        (0xD16CFE09, 0x94FDCCEB, 0x5001E420, 0x24126EA1),
+    ),
+]
+
+
+class TestPhiloxCore:
+    def test_random123_known_answers(self):
+        counters = np.array([k[0] for k in _KATS], dtype=np.uint64)
+        keys = np.array([k[1] for k in _KATS], dtype=np.uint64)
+        out = philox4x32(counters, keys)
+        expected = np.array([k[2] for k in _KATS], dtype=np.uint32)
+        assert out.dtype == np.uint32
+        np.testing.assert_array_equal(out, expected)
+
+    def test_known_answers_one_at_a_time(self):
+        for counter, key, expected in _KATS:
+            out = philox4x32(
+                np.array([counter], dtype=np.uint64),
+                np.array([key], dtype=np.uint64),
+            )
+            assert tuple(int(w) for w in out[0]) == expected
+
+    def test_philox_words_matches_block_cipher(self):
+        # philox_words packs a 64-bit draw index into counter words 0/1.
+        idx = np.array([0, 1, 2**32 - 1, 2**32, 2**40 + 17], dtype=np.uint64)
+        counters = np.zeros((len(idx), 4), dtype=np.uint64)
+        counters[:, 0] = idx & np.uint64(0xFFFFFFFF)
+        counters[:, 1] = idx >> np.uint64(32)
+        keys = np.array([[123, 456]] * len(idx), dtype=np.uint64)
+        words = philox_words(keys[:, 0], keys[:, 1], idx)
+        block = philox4x32(counters, keys)
+        np.testing.assert_array_equal(words.astype(np.uint32), block[:, 0])
+
+    def test_distinct_keys_distinct_streams(self):
+        idx = np.arange(256, dtype=np.uint64)
+        a = philox_words(np.uint64(1), np.uint64(0), idx)
+        b = philox_words(np.uint64(2), np.uint64(0), idx)
+        assert not np.array_equal(a, b)
+
+
+class TestBoundedDraws:
+    def test_in_range_and_exact_reduction(self):
+        idx = np.arange(4096, dtype=np.uint64)
+        bounds = np.full(4096, 37, dtype=np.int64)
+        draws = philox_bounded(np.uint64(7), np.uint64(9), idx, bounds)
+        assert draws.dtype == np.int64
+        assert draws.min() >= 0 and draws.max() < 37
+        # The multiply-shift reduction must equal the Python-int formula.
+        words = philox_words(np.uint64(7), np.uint64(9), idx)
+        expected = [(int(w) * 37) >> 32 for w in words]
+        np.testing.assert_array_equal(draws, np.array(expected))
+
+    def test_mixed_bounds_one_pass(self):
+        idx = np.arange(100, dtype=np.uint64)
+        bounds = (np.arange(100, dtype=np.int64) % 13) + 1
+        draws = philox_bounded(np.uint64(3), np.uint64(4), idx, bounds)
+        assert np.all(draws >= 0)
+        assert np.all(draws < bounds)
+
+    def test_bound_one_is_always_zero(self):
+        idx = np.arange(64, dtype=np.uint64)
+        draws = philox_bounded(np.uint64(5), np.uint64(6), idx, np.int64(1))
+        assert not draws.any()
+
+
+class TestLaneKeys:
+    def test_from_seed_sequence_is_pure(self):
+        seq = np.random.SeedSequence(42)
+        k1 = lane_key(seq)
+        k2 = lane_key(seq)
+        assert k1 == k2
+        assert isinstance(k1, LaneKey)
+
+    def test_from_int_and_passthrough(self):
+        k = lane_key(12345)
+        assert lane_key(k) is k
+        assert k == lane_key(np.random.SeedSequence(12345))
+
+    def test_warp_keys_matches_scalar_derivation(self):
+        states = spawn_generator_states(np.random.default_rng(9), 8)
+        table = warp_keys(states)
+        assert table.shape == (8, 2)
+        assert table.dtype == np.uint32
+        for i, s in enumerate(states):
+            assert lane_key(s) == LaneKey(int(table[i, 0]), int(table[i, 1]))
+
+    def test_spawned_keys_are_distinct(self):
+        states = spawn_generator_states(np.random.default_rng(1), 64)
+        keys = {lane_key(s) for s in states}
+        assert len(keys) == 64
+
+
+class TestLaneRNG:
+    def test_scalar_matches_batch(self):
+        rng = LaneRNG(lane_key(7))
+        scalar = [rng.integers(0, 50) for _ in range(40)]
+        batch = philox_bounded(
+            np.uint64(rng.key.k0),
+            np.uint64(rng.key.k1),
+            np.arange(40, dtype=np.uint64),
+            np.int64(50),
+        )
+        np.testing.assert_array_equal(np.array(scalar), batch)
+        assert rng.counter == 40
+
+    def test_array_bounds_consume_in_order(self):
+        a = LaneRNG(lane_key(11))
+        b = LaneRNG(lane_key(11))
+        bounds = np.array([3, 9, 1, 27, 5], dtype=np.int64)
+        vec = a.integers(0, bounds)
+        scalars = [b.integers(0, int(x)) for x in bounds]
+        np.testing.assert_array_equal(vec, np.array(scalars))
+        assert a.counter == b.counter == 5
+
+    def test_replay_without_state_cloning(self):
+        key = lane_key(np.random.SeedSequence(5))
+        first = [LaneRNG(key).integers(0, 100) for _ in range(3)]
+        assert first[0] == first[1] == first[2]
+
+    def test_single_arg_form_and_errors(self):
+        rng = LaneRNG(lane_key(3))
+        v = rng.integers(10)
+        assert 0 <= v < 10
+        with pytest.raises(ValueError):
+            rng.integers(5, 10)
+        with pytest.raises(ValueError):
+            rng.integers(0, 0)
+
+    def test_spawn_lane_rngs(self):
+        states = spawn_generator_states(np.random.default_rng(2), 4)
+        rngs = spawn_lane_rngs(states)
+        assert len(rngs) == 4
+        assert all(r.counter == 0 for r in rngs)
+        assert len({r.key for r in rngs}) == 4

@@ -6,7 +6,15 @@ import numpy as np
 import pytest
 
 from repro import errors
-from repro.utils.rng import as_generator, derive_seed, spawn_generators
+from repro.utils.rng import (
+    DrawLedger,
+    as_generator,
+    clone_state,
+    derive_seed,
+    generator_from_state,
+    spawn_generator_states,
+    spawn_generators,
+)
 from repro.utils.timing import Stopwatch, format_ms
 
 
@@ -41,6 +49,52 @@ class TestRng:
         with pytest.raises(ValueError):
             spawn_generators(0, -1)
 
+    def test_spawn_fallback_without_seed_sequence(self):
+        # A bit generator whose ``seed_seq`` attribute is absent exercises
+        # the drawn-integer-seed fallback.
+        class NoSeedSeqBG:
+            def __init__(self, gen):
+                self._gen = gen
+
+            def __getattr__(self, name):
+                if name == "seed_seq":
+                    raise AttributeError(name)
+                return getattr(self._gen.bit_generator, name)
+
+        class ExoticGenerator(np.random.Generator):
+            pass
+
+        inner = np.random.default_rng(11)
+        gen = ExoticGenerator(inner.bit_generator)
+        gen.__class__.bit_generator = property(  # type: ignore[assignment]
+            lambda self: NoSeedSeqBG(inner)
+        )
+        try:
+            states = spawn_generator_states(gen, 8)
+        finally:
+            del ExoticGenerator.bit_generator
+        assert len(states) == 8
+        assert all(isinstance(s, int) for s in states)
+        # Full 64-bit space: drawn seeds must be able to exceed 2**63.
+        assert all(0 <= s < 2**64 for s in states)
+        twin = np.random.default_rng(11)
+        expected = [int(twin.integers(0, 2**64, dtype=np.uint64)) for _ in range(8)]
+        assert states == expected
+        # int states are valid replayable seeds.
+        a = generator_from_state(states[0]).integers(0, 1000, size=4)
+        b = generator_from_state(states[0]).integers(0, 1000, size=4)
+        assert list(a) == list(b)
+
+    def test_clone_state_int_passthrough(self):
+        assert clone_state(12345) == 12345
+        # Cloned SeedSequence replays identically with the child counter reset.
+        seq = spawn_generator_states(3, 1)[0]
+        seq.spawn(2)  # advance the original's child counter
+        c1, c2 = clone_state(seq), clone_state(seq)
+        g1 = [s.generate_state(2).tolist() for s in c1.spawn(2)]
+        g2 = [s.generate_state(2).tolist() for s in c2.spawn(2)]
+        assert g1 == g2
+
     def test_derive_seed_stable_and_sensitive(self):
         s1 = derive_seed(42, "eu2005", 16, "dense", 0)
         s2 = derive_seed(42, "eu2005", 16, "dense", 0)
@@ -49,6 +103,85 @@ class TestRng:
         assert s1 == s2
         assert s1 != s3 and s1 != s4
         assert 0 <= s1 < 2**63
+
+
+class TestDrawLedger:
+    def test_integers_match_generator_exactly(self):
+        for seed in range(10):
+            gen = np.random.default_rng(seed)
+            twin = np.random.default_rng(seed)
+            with DrawLedger(gen) as led:
+                got = [led.integers(0, 1 + seed * 37 + i % 101) for i in range(500)]
+            want = [int(twin.integers(0, 1 + seed * 37 + i % 101)) for i in range(500)]
+            assert got == want
+            assert gen.bit_generator.state == twin.bit_generator.state
+
+    def test_random_matches_generator_exactly(self):
+        gen = np.random.default_rng(99)
+        twin = np.random.default_rng(99)
+        with DrawLedger(gen) as led:
+            got = [led.random() for _ in range(100)]
+        want = [float(twin.random()) for _ in range(100)]
+        assert got == want
+        assert gen.bit_generator.state == twin.bit_generator.state
+
+    def test_interleaved_segments_realign(self):
+        # Ledgered segments interleaved with direct generator calls must
+        # leave the stream exactly where scalar draws would have.
+        gen = np.random.default_rng(7)
+        twin = np.random.default_rng(7)
+        got, want = [], []
+        for seg in range(5):
+            with DrawLedger(gen) as led:
+                got.extend(led.integers(0, 13 + seg) for _ in range(17))
+                got.append(led.random())
+            got.extend(int(x) for x in gen.integers(0, 1000, size=3))
+            want.extend(int(twin.integers(0, 13 + seg)) for _ in range(17))
+            want.append(float(twin.random()))
+            want.extend(int(x) for x in twin.integers(0, 1000, size=3))
+        assert got == want
+        assert gen.bit_generator.state == twin.bit_generator.state
+
+    def test_half_word_buffer_carries_across_entry(self):
+        # An odd number of 32-bit draws leaves PCG64 holding a buffered
+        # half-word; a ledger opened in that state must consume it first.
+        gen = np.random.default_rng(5)
+        twin = np.random.default_rng(5)
+        gen.integers(0, 1000)
+        twin.integers(0, 1000)
+        assert gen.bit_generator.state["has_uint32"]
+        with DrawLedger(gen) as led:
+            got = [led.integers(0, 97) for _ in range(9)]
+        want = [int(twin.integers(0, 97)) for _ in range(9)]
+        assert got == want
+        assert gen.bit_generator.state == twin.bit_generator.state
+
+    def test_degenerate_and_full_ranges(self):
+        gen = np.random.default_rng(1)
+        twin = np.random.default_rng(1)
+        with DrawLedger(gen) as led:
+            assert led.integers(5, 6) == 5  # single-value range: no draw
+            full = [led.integers(0, 2**32) for _ in range(6)]
+            with pytest.raises(ValueError):
+                led.integers(3, 2)
+            with pytest.raises(ValueError):
+                led.integers(0, 2**32 + 1)
+        assert int(twin.integers(5, 6)) == 5
+        assert full == [int(twin.integers(0, 2**32)) for _ in range(6)]
+        assert gen.bit_generator.state == twin.bit_generator.state
+
+    def test_passthrough_for_exotic_bit_generator(self):
+        # A generator whose state lacks the half-word buffer keys falls back
+        # to direct calls (no batching, still correct).
+        gen = np.random.Generator(np.random.MT19937(3))
+        twin = np.random.Generator(np.random.MT19937(3))
+        with DrawLedger(gen) as led:
+            assert not led._active
+            got = [led.integers(0, 50) for _ in range(20)]
+            got.append(led.random())
+        want = [int(twin.integers(0, 50)) for _ in range(20)]
+        want.append(float(twin.random()))
+        assert got == want
 
 
 class TestTiming:
