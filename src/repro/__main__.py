@@ -25,7 +25,15 @@ Two subcommands make the system runnable without writing scripts:
   admitted p99, and goodput at least the baseline's;
 * ``repro trace-report`` — per-span time breakdown of a Chrome-trace JSON
   produced by ``repro estimate --trace-out`` (the same file loads in
-  Perfetto / ``chrome://tracing``).
+  Perfetto / ``chrome://tracing``), with anomaly-instant and top-N
+  slowest-span sections; flight postmortem bundles are accepted too;
+* ``repro flight-replay`` — re-execute the round captured in a flight
+  postmortem bundle (``repro chaos-bench --flight-bundle-out``, or any
+  triggered service via ``EstimationService.write_flight_bundle``) and
+  verify the estimate and simulated ms reproduce bit-identically;
+* ``repro slo-report`` — run the quick overload soak with the default
+  SLOs and print the burn-rate table plus the deterministic alert log
+  (fire/clear transitions on the simulated clock).
 
 Run ``python -m repro <cmd> --help`` (or ``repro <cmd> --help`` once
 installed) for options.
@@ -54,9 +62,11 @@ from repro.bench.serving import (
 from repro.errors import ReproError
 from repro.graph.datasets import DATASET_ORDER, load_dataset
 from repro.obs import (
+    load_bundle,
     load_trace,
     registry_from_service_snapshot,
     render_report,
+    replay_bundle,
 )
 from repro.query.extract import extract_query
 from repro.serve.request import EstimateRequest
@@ -171,6 +181,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--no-save", action="store_true", help="do not write results/ JSON"
     )
+    chaos.add_argument(
+        "--flight-bundle-out", default=None, metavar="PATH",
+        help="write the captured flight postmortem bundle as JSON "
+             "(replayable via 'repro flight-replay PATH')",
+    )
 
     mut = sub.add_parser(
         "mutate-bench",
@@ -230,10 +245,35 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "trace-report",
-        help="per-span time breakdown of a recorded Chrome-trace JSON",
+        help="per-span time breakdown of a recorded Chrome-trace JSON "
+             "or flight bundle",
     )
     report.add_argument(
-        "trace", help="trace file written by 'repro estimate --trace-out'"
+        "trace", help="trace file written by 'repro estimate --trace-out' "
+                      "or a flight postmortem bundle",
+    )
+
+    replay = sub.add_parser(
+        "flight-replay",
+        help="re-execute a flight postmortem bundle and verify bit-identity",
+    )
+    replay.add_argument(
+        "bundle", help="flight bundle JSON (chaos-bench --flight-bundle-out)"
+    )
+
+    slo = sub.add_parser(
+        "slo-report",
+        help="quick overload soak with SLO burn-rate alerting report",
+    )
+    slo.add_argument(
+        "--requests", type=int, default=400, help="open-loop arrivals"
+    )
+    slo.add_argument(
+        "--overload-factor", type=float, default=2.0,
+        help="arrival rate as a multiple of calibrated capacity",
+    )
+    slo.add_argument(
+        "--seed", type=int, default=OVERLOAD_ROOT_SEED, help="root seed"
     )
     return parser
 
@@ -411,10 +451,31 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
     acceptance = payload["acceptance"]
     verdict = "PASS" if acceptance.get("passed") else "FAIL"
     print(f"\nacceptance @ rate {acceptance.get('evaluated_rate')}: {verdict}")
-    for key in ("zero_stranded", "all_answered", "q_error_within_2x"):
+    for key in ("zero_stranded", "all_answered", "q_error_within_2x",
+                "flight_bundle_captured", "flight_replay_bit_identical"):
         if key in acceptance:
             print(f"  {key}: {acceptance[key]}")
+    replay = payload.get("flight_replay")
+    if replay is not None:
+        print(
+            f"\nflight postmortem: trigger={replay['trigger'].get('kind')} "
+            f"graph={replay['graph']}\n"
+            f"  replayed estimate {replay['replayed']['estimate']} "
+            f"(expected {replay['expected']['estimate']}), "
+            f"simulated_ms match={replay['simulated_ms_match']}"
+        )
+    if args.flight_bundle_out:
+        bundle = payload.get("flight_bundle")
+        if bundle is None:
+            print("no flight bundle captured; nothing written",
+                  file=sys.stderr)
+            return 1
+        with open(args.flight_bundle_out, "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh)
+        print(f"flight bundle written to {args.flight_bundle_out}")
     if not args.no_save:
+        payload = dict(payload)
+        payload.pop("flight_bundle", None)  # bulky; exported via the flag
         path = save_results("chaos_resilience", payload)
         if path is not None:
             print(f"\nresults written to {path}")
@@ -523,6 +584,79 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_flight_replay(args: argparse.Namespace) -> int:
+    bundle = load_bundle(args.bundle)
+    report = replay_bundle(bundle)
+    trigger = report.get("trigger") or {}
+    print(f"bundle: trigger={trigger.get('kind')} "
+          f"at t={float(trigger.get('sim_ms', 0.0)):.3f}ms "
+          f"graph={report['graph']}")
+    print(f"round: {report['n_samples']} samples on {report['backend']}, "
+          f"stall_factor={report['stall_factor']}")
+    print(f"expected: estimate={report['expected']['estimate']!r} "
+          f"simulated_ms={report['expected']['simulated_ms']!r}")
+    print(f"replayed: estimate={report['replayed']['estimate']!r} "
+          f"simulated_ms={report['replayed']['simulated_ms']!r}")
+    if report.get("lane_keys_match") is not None:
+        print(f"lane keys match: {report['lane_keys_match']}")
+    verdict = "BIT-IDENTICAL" if report["match"] else "MISMATCH"
+    print(f"replay: {verdict}")
+    return 0 if report["match"] else 1
+
+
+def _cmd_slo_report(args: argparse.Namespace) -> int:
+    payload = run_overload_soak(
+        n_requests=args.requests,
+        overload_factor=args.overload_factor,
+        seed=args.seed,
+        quick=True,
+    )
+    slo = (payload["soak"]["shed"] or {}).get("slo")
+    if not slo:
+        print("repro: error: the soak produced no SLO snapshot",
+              file=sys.stderr)
+        return 2
+    from repro.obs import registry_from_slo_snapshot
+
+    print(f"SLO report (quick soak, {payload['n_requests']} arrivals at "
+          f"{payload['soak']['overload_factor']:.1f}x capacity, "
+          f"seed {payload['seed']})\n")
+    reg = registry_from_slo_snapshot(slo)
+    burn = slo.get("burn_rates", {})
+    alerts = slo.get("alerts", {})
+    header = (f"{'objective':<18} {'short':>8} {'long':>8} "
+              f"{'fired':>6} {'cleared':>8} {'active':>7}")
+    print(header)
+    print("-" * len(header))
+    for name in sorted(burn):
+        rates = burn[name]
+        totals = alerts.get(name, {})
+        print(f"{name:<18} {rates.get('short', 0.0):>8.2f} "
+              f"{rates.get('long', 0.0):>8.2f} "
+              f"{int(totals.get('n_fired', 0)):>6d} "
+              f"{int(totals.get('n_cleared', 0)):>8d} "
+              f"{'yes' if totals.get('active') else 'no':>7}")
+    log = slo.get("alert_log", [])
+    if log:
+        print("\nalert log:")
+        for entry in log:
+            print(f"  t={entry['sim_ms']:.3f}ms {entry['slo']} "
+                  f"{entry['state'].upper()} "
+                  f"(short={entry['short_burn']:.2f}, "
+                  f"long={entry['long_burn']:.2f})")
+    else:
+        print("\nalert log: (empty)")
+    print("\nslo_burn_rate exposition:")
+    for line in reg.prometheus_text().splitlines():
+        if "_slo_burn_rate{" in line:
+            print(f"  {line}")
+    fired = any(e["state"] == "fire" for e in log)
+    cleared = any(e["state"] == "clear" for e in log)
+    verdict = "PASS" if (fired and cleared) else "FAIL"
+    print(f"\nburn-rate alert fired and cleared: {verdict}")
+    return 0 if (fired and cleared) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -538,6 +672,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_soak_bench(args)
         if args.command == "trace-report":
             return _cmd_trace_report(args)
+        if args.command == "flight-replay":
+            return _cmd_flight_replay(args)
+        if args.command == "slo-report":
+            return _cmd_slo_report(args)
     except ReproError as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2

@@ -11,7 +11,11 @@ at increasing launch-fault rates and verifies the resilience contract:
 * **bounded accuracy loss** — the mean q-error against a high-budget
   fault-free reference stays within 2× of the fault-free service run's
   mean q-error (retried rounds are fresh i.i.d. draws, so faults cost
-  time, not bias — see ``EngineSession``'s checkpoint semantics).
+  time, not bias — see ``EngineSession``'s checkpoint semantics);
+* **replayable postmortems** — the always-on flight recorder
+  (:mod:`repro.obs.flight`) must capture at least one trigger bundle
+  from the faulted runs, and replaying it must reproduce the captured
+  round's estimate and simulated ms bit-identically.
 
 Everything is seeded and runs on simulated time, so a failing acceptance
 check reproduces exactly.
@@ -23,8 +27,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import EngineConfig
 from repro.core.engine import GSWORDEngine, RetryPolicy
-from repro.faults import FaultPlan
+from repro.faults import FaultKind, FaultPlan
 from repro.metrics.qerror import q_error
+from repro.obs.flight import replay_bundle
 from repro.serve.breaker import BreakerPolicy
 from repro.serve.cache import build_plan
 from repro.serve.controller import BudgetPolicy
@@ -126,6 +131,7 @@ def run_chaos_run(
         n_fallback_answers += int(bool(response.extras.get("fallback")))
 
     snap = service.metrics_snapshot()
+    bundles = service.flight_bundles()
     n_answered = len(q_errors)
     return {
         "fault_rate": fault_rate,
@@ -145,6 +151,61 @@ def run_chaos_run(
         "resilience": snap["resilience"],
         "breakers": snap["breakers"],
         "faults_injected": snap["faults_injected"],
+        "flight": snap.get("flight", {}),
+        # Newest postmortem bundle this run triggered (None on a healthy
+        # run) — the acceptance replay cross-check consumes it.
+        "flight_bundle": bundles[-1] if bundles else None,
+    }
+
+
+def run_postmortem_capture(
+    pool: Sequence[EstimateRequest],
+    seed: int = CHAOS_SEED,
+    n_requests: int = 8,
+    stall_rate: float = 0.5,
+    watchdog_ms: float = 0.05,
+) -> Dict[str, object]:
+    """Deterministic trigger storm for the postmortem-replay gate.
+
+    The resilience sweep's retries are *supposed* to absorb most faults,
+    so at CI scale it may finish without a single post-retry failure —
+    and therefore without a flight trigger.  This phase removes the
+    safety nets on purpose: retries off, a watchdog ceiling far below a
+    64x-stalled launch, and a heavy stall rate, so the watchdog
+    deterministically kills launches, the breaker trips, and the flight
+    monitor snapshots bundles (``kernel_timeout`` / ``breaker_open``).
+    The CPU fallback still answers every request — the storm breaks
+    rounds, not the contract."""
+    config = ServiceConfig(
+        policy=BudgetPolicy(min_round_samples=256, max_round_samples=4096),
+        faults=FaultPlan(
+            seed=derive_seed(seed, "postmortem"),
+            rates={FaultKind.STALL: stall_rate},
+            stall_factor=64.0,
+        ),
+        memory_budget_bytes=MEMORY_BUDGET_BYTES,
+        watchdog_ms=watchdog_ms,
+        retry=None,
+        cpu_fallback=True,
+    )
+    service = EstimationService(config)
+    stream = request_stream(pool, n_requests)
+    n_answered = 0
+    for request in stream:
+        try:
+            service.estimate(request)
+            n_answered += 1
+        except Exception:  # noqa: BLE001 - the storm may fail requests
+            pass
+    snap = service.metrics_snapshot()
+    bundles = service.flight_bundles()
+    return {
+        "n_requests": len(stream),
+        "n_answered": n_answered,
+        "stall_rate": stall_rate,
+        "watchdog_ms": watchdog_ms,
+        "flight": snap.get("flight", {}),
+        "bundle": bundles[-1] if bundles else None,
     }
 
 
@@ -178,6 +239,20 @@ def run_chaos_benchmark(
 
     control = next(r for r in runs if r["fault_rate"] == 0.0)
     chaos = next((r for r in runs if r["fault_rate"] >= 0.10), None)
+    # The newest bundle any faulted sweep run triggered (highest rate
+    # wins); the dedicated postmortem storm guarantees one otherwise.
+    postmortem = run_postmortem_capture(pool, seed=seed)
+    bundle = next(
+        (
+            r["flight_bundle"]
+            for r in sorted(runs, key=lambda r: -float(r["fault_rate"]))
+            if r["fault_rate"] > 0 and r.get("flight_bundle") is not None
+        ),
+        None,
+    ) or postmortem["bundle"]
+    replay_report: Optional[Dict[str, object]] = None
+    if bundle is not None:
+        replay_report = replay_bundle(bundle)
     acceptance: Dict[str, object] = {"evaluated_rate": None, "passed": False}
     if chaos is not None:
         checks = {
@@ -185,6 +260,10 @@ def run_chaos_benchmark(
             "all_answered": chaos["n_answered"] == chaos["n_requests"],
             "q_error_within_2x": (
                 chaos["mean_q_error"] <= 2.0 * control["mean_q_error"]
+            ),
+            "flight_bundle_captured": bundle is not None,
+            "flight_replay_bit_identical": bool(
+                replay_report is not None and replay_report["match"]
             ),
         }
         acceptance = {
@@ -195,6 +274,9 @@ def run_chaos_benchmark(
             "passed": all(checks.values()),
         }
     return {
+        "postmortem": {k: v for k, v in postmortem.items() if k != "bundle"},
+        "flight_bundle": bundle,
+        "flight_replay": replay_report,
         "seed": seed,
         "n_requests": n_requests,
         "clients": clients,

@@ -26,7 +26,10 @@ through exactly that regime and measures what the admission layer
    carries a positive ``retry_after_ms``, the *admitted* p99 stays
    bounded under the shed config, and goodput (deadline-met completions
    per simulated second) with shedding is at least the no-shedding
-   baseline's.  A separate hedge phase checks straggler hedging is free
+   baseline's.  The shed configuration also runs the default SLO set
+   (:mod:`repro.obs.slo`): the overload storm must *fire* a burn-rate
+   alert and the post-storm drain must *clear* it — both at exact,
+   seed-reproducible simulated instants.  A separate hedge phase checks straggler hedging is free
    of estimate drift: hedged rounds must be bit-identical to unhedged
    rounds under a stall-fault storm while improving (or matching) the
    tail.
@@ -50,6 +53,7 @@ from repro.errors import ConfigError, Overloaded
 from repro.estimators.alley import AlleyEstimator
 from repro.faults import OVERLOAD, ArrivalPlan, FaultKind, FaultPlan, maybe_injector
 from repro.gpu.costmodel import DEFAULT_GPU
+from repro.obs.slo import default_slo_policy
 from repro.serve.admission import AdmissionPolicy, HedgePolicy, TenantQuota
 from repro.serve.cache import build_plan
 from repro.serve.metrics import percentile
@@ -70,6 +74,12 @@ DEADLINE_FACTOR = 30.0
 
 #: Admitted-p99 bound, in multiples of the request deadline (gate 3).
 P99_DEADLINE_SLACK = 3.0
+
+#: SLO burn-rate windows, in multiples of the calibrated service time —
+#: like the burst windows, sized so the alert dynamics are invariant to
+#: how fast the calibrated device happens to be.
+SLO_SHORT_WINDOW_FACTOR = 10.0
+SLO_LONG_WINDOW_FACTOR = 40.0
 
 #: Device co-residency cap for the soak.  Co-resident rounds share the
 #: device nearly for free in the cost model, so an unbounded batch width
@@ -218,6 +228,16 @@ def run_open_loop(
                 })
         service.drain()
         snap = service.metrics_snapshot()
+        slo_snap = None
+        if config.slo is not None and service.slo is not None:
+            # Post-storm idle padding: advance the clock one long window
+            # past the last event so the burn windows empty and any
+            # active alert clears — deterministically, because the
+            # padding instant is a pure function of the drain clock.
+            service.advance_clock(
+                service.clock_ms + config.slo.long_window_ms + 1.0
+            )
+            slo_snap = service.slo.snapshot(service.clock_ms)
     finally:
         service.close()
 
@@ -274,6 +294,7 @@ def run_open_loop(
         "by_tenant": by_tenant,
         "n_degraded": snap["n_degraded"],
         "ewma_request_ms": snap["admission_state"].get("ewma_request_ms"),
+        "slo": slo_snap,
     }
 
 
@@ -307,6 +328,11 @@ def run_overload_comparison(
             calibration["capacity_per_s"], max_pending=max_pending
         ),
         propagate_deadline=True,
+        slo=default_slo_policy(
+            latency_threshold_ms=deadline_ms,
+            short_window_ms=SLO_SHORT_WINDOW_FACTOR * ms_per_request,
+            long_window_ms=SLO_LONG_WINDOW_FACTOR * ms_per_request,
+        ),
     )
     baseline_config = ServiceConfig(max_batch_requests=MAX_BATCH_REQUESTS)
     shed = run_open_loop(shed_config, pool, arrival_times, tenants, deadline_ms)
@@ -397,6 +423,14 @@ def run_hedge_check(
     }
 
 
+def _slo_state_reached(run: Dict[str, object], state: str) -> bool:
+    """Did the run's SLO alert log record at least one ``state`` entry?"""
+    slo = run.get("slo") or {}
+    return any(
+        entry.get("state") == state for entry in slo.get("alert_log", [])
+    )
+
+
 def evaluate_gates(payload: Dict[str, object]) -> Dict[str, object]:
     """The soak's acceptance gates (shared by the bench script and CI)."""
     soak = payload["soak"]
@@ -421,6 +455,8 @@ def evaluate_gates(payload: Dict[str, object]) -> Dict[str, object]:
         "hedge_tail_not_worse": (
             float(hedge["p99_hedged_ms"]) <= float(hedge["p99_unhedged_ms"])
         ),
+        "slo_alert_fired": _slo_state_reached(shed, "fire"),
+        "slo_alert_cleared": _slo_state_reached(shed, "clear"),
     }
     gates["p99_bound_ms"] = p99_bound_ms
     gates["passed"] = all(
@@ -459,6 +495,8 @@ def run_overload_soak(
 
 __all__ = [
     "OVERLOAD_ROOT_SEED",
+    "SLO_SHORT_WINDOW_FACTOR",
+    "SLO_LONG_WINDOW_FACTOR",
     "TENANTS",
     "TENANT_SHARES",
     "build_soak_pool",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +58,7 @@ from repro.obs.trace import NO_TRACE, TraceRecorder
 from repro.query.matching_order import MatchingOrder
 from repro.utils.lanerng import spawn_lane_rngs
 from repro.utils.rng import (
+    GeneratorState,
     RandomSource,
     as_generator,
     clone_state,
@@ -972,6 +973,13 @@ class EngineSession:
         #: the final one when retries were exhausted) — lets callers report
         #: per-kind fault metrics even when the round ultimately raised.
         self.last_attempt_errors: List[BaseException] = []
+        #: Replay capture of the most recent *executed* launch (committed
+        #: or watchdog-killed): the spawned RNG substream state, sample
+        #: count, shard offset, stall factor, and the observed estimate /
+        #: simulated ms.  The flight recorder snapshots this into
+        #: postmortem bundles; ``repro flight-replay`` re-executes it
+        #: bit-identically.  ``None`` until a launch has produced a result.
+        self.last_launch: Optional[Dict[str, Any]] = None
 
     @property
     def n_rounds(self) -> int:
@@ -1183,6 +1191,7 @@ class EngineSession:
                 n_samples, collect_states,
                 rng=generator_from_state(clone_state(state)),
                 watchdog_ms=watchdog_ms,
+                rng_state=clone_state(state),
             )
         except RECOVERABLE_ERRORS as error:
             primary_err = error
@@ -1224,6 +1233,7 @@ class EngineSession:
                 rng=generator_from_state(clone_state(state)),
                 watchdog_ms=watchdog_ms,
                 shard_offset=shard_offset,
+                rng_state=clone_state(state),
             )
         except RECOVERABLE_ERRORS as error:
             hedge_err = error
@@ -1344,6 +1354,7 @@ class EngineSession:
         rng: RandomSource = None,
         watchdog_ms: Optional[float] = None,
         shard_offset: int = 0,
+        rng_state: Optional[GeneratorState] = None,
     ) -> GPURunResult:
         """One kernel launch: injection, admission, execution, watchdog.
 
@@ -1351,9 +1362,11 @@ class EngineSession:
         round result on success.
 
         ``rng`` overrides the default fresh-substream draw (the hedging
-        path replays one substream across two attempts); ``watchdog_ms``
-        tightens the device watchdog for this launch (deadline
-        propagation); ``shard_offset`` rotates the warp->shard map.
+        path replays one substream across two attempts — it passes the
+        shared ``rng_state`` too so the launch stays replay-capturable);
+        ``watchdog_ms`` tightens the device watchdog for this launch
+        (deadline propagation); ``shard_offset`` rotates the warp->shard
+        map.
         """
         engine = self.engine
         device = engine.device
@@ -1386,9 +1399,15 @@ class EngineSession:
             # when this launch's round dispatches to it, exercising the
             # real death-detection path rather than a synthetic raise.
             engine._shard_executor().inject_crash(faults.launch_index)
-        round_rng = (
-            rng if rng is not None else spawn_generators(self._root, 1)[0]
-        )
+        if rng is not None:
+            round_rng = as_generator(rng)
+        else:
+            # Materialising via the captured state (instead of
+            # spawn_generators) is stream-identical — default_rng never
+            # advances a SeedSequence's child counter — but leaves the
+            # state in hand for postmortem replay.
+            rng_state = spawn_generator_states(self._root, 1)[0]
+            round_rng = generator_from_state(clone_state(rng_state))
         round_result = engine.run(
             self.cg, self.order, n_samples, rng=round_rng,
             collect_states=collect_states, shard_offset=shard_offset,
@@ -1413,6 +1432,30 @@ class EngineSession:
                         "overrun_ms": overrun,
                     },
                 )
+        # Capture the launch for postmortem replay *before* the watchdog
+        # verdict: a timeout round is exactly the one a flight bundle
+        # needs to carry.  (Launches that raised earlier never executed,
+        # so there is nothing replayable to capture.)
+        if rng_state is not None:
+            stall_factor = (
+                float(faults.stall_factor)
+                if faults is not None and faults.stalls
+                else 1.0
+            )
+            self.last_launch = {
+                "rng_state": clone_state(rng_state),
+                "n_samples": int(n_samples),
+                "shard_offset": int(shard_offset),
+                "stall_factor": stall_factor,
+                "estimate": float(round_result.estimate),
+                "simulated_ms": float(round_result.simulated_ms()),
+                "backend": round_result.backend_label,
+                "n_warps": int(round_result.n_warps),
+                "round": int(self._rounds),
+                "launch_index": (
+                    int(faults.launch_index) if faults is not None else None
+                ),
+            }
         device.check_watchdog(round_result.simulated_ms(), watchdog_ms)
         return round_result
 

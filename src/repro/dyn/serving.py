@@ -104,6 +104,11 @@ class DynamicEstimationSession:
         )
         self.service.install_plan(plan)
         self._plan_ids[fp] = graph_id
+        # Seed the flight recorder's graph identity so a postmortem bundle
+        # triggered before any round names the exact installed version.
+        self.service.note_graph_identity(
+            snap, graph_id=graph_id, graph_version=maintainer.version
+        )
 
     # ------------------------------------------------------------------
     def mutate(self, batch: EdgeBatch) -> AppliedDelta:
@@ -161,6 +166,11 @@ class DynamicEstimationSession:
             self.register_query(query)
             entry = self._maintainers[fp]
         _, maintainer = entry
+        self.service.note_graph_identity(
+            maintainer.cg.graph,
+            graph_id=self._plan_ids[fp],
+            graph_version=maintainer.version,
+        )
         request = EstimateRequest(
             graph=maintainer.cg.graph,
             query=query,

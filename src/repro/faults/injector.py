@@ -112,6 +112,20 @@ class FaultInjector:
                 "expected_fault_rate": self.plan.expected_fault_rate(),
             }
 
+    def describe(self) -> Dict[str, object]:
+        """The full fault context a postmortem bundle embeds: live
+        tallies plus the plan's identity (seed, per-kind rates, stall
+        factor) — enough to reconstruct the exact injection schedule that
+        surrounded a captured launch."""
+        out = self.stats()
+        out["plan"] = {
+            "seed": self.plan.seed,
+            "rates": {str(k): float(v) for k, v in self.plan.rates.items()},
+            "stall_factor": float(self.plan.stall_factor),
+            "oom_pressure_bytes": int(self.plan.oom_pressure_bytes),
+        }
+        return out
+
 
 def maybe_injector(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
     """``None``-propagating constructor used by config plumbing."""

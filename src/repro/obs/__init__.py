@@ -1,6 +1,6 @@
-"""repro.obs — end-to-end tracing and the unified metrics registry.
+"""repro.obs — tracing, metrics, flight recording, and SLOs.
 
-Two halves, both importable from here:
+Four halves, all importable from here:
 
 * :mod:`repro.obs.trace` — :class:`TraceRecorder` hierarchical two-clock
   spans (simulated device ms primary, wall time in args) with Chrome
@@ -8,15 +8,34 @@ Two halves, both importable from here:
   singleton every un-traced component points at.
 * :mod:`repro.obs.registry` — :class:`MetricsRegistry`
   counters/gauges/histograms with label sets, JSON snapshot and
-  Prometheus text exposition, and bridges from the existing telemetry
-  shapes (`ServiceMetrics` snapshots, `KernelProfile` stall summaries,
-  fault tallies, `multidev_ms`).
+  Prometheus text exposition (with a parser for round-trip validation),
+  and bridges from the existing telemetry shapes (`ServiceMetrics`
+  snapshots, `KernelProfile` stall summaries, fault tallies,
+  `multidev_ms`).
+* :mod:`repro.obs.flight` — the always-on :class:`FlightRecorder` ring,
+  the :class:`FlightMonitor` trigger taxonomy, and self-contained
+  postmortem bundles that :func:`replay_bundle` re-executes
+  bit-identically.
+* :mod:`repro.obs.slo` — declarative :class:`SLOObjective` targets with
+  Google-SRE multi-window burn-rate alerting on the simulated clock.
 
-This package sits *below* ``core``/``serve`` in the import graph: it
-imports only the standard library and :mod:`repro.errors`, so every other
-layer can instrument itself without cycles.
+This package sits *below* ``core``/``serve`` in the import graph: its
+modules import only the standard library and :mod:`repro.errors`
+(:func:`replay_bundle` pulls the engine in lazily), so every other layer
+can instrument itself without cycles.
 """
 
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    TRIGGER_KINDS,
+    FlightMonitor,
+    FlightPolicy,
+    FlightRecorder,
+    graph_identity,
+    load_bundle,
+    replay_bundle,
+    write_bundle,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -24,14 +43,25 @@ from repro.obs.registry import (
     MetricsRegistry,
     Reservoir,
     add_stall_summary,
+    escape_label_value,
+    parse_prometheus_text,
     registry_from_run,
     registry_from_service_snapshot,
+    unescape_label_value,
 )
 from repro.obs.report import (
     count_instants,
     load_trace,
     render_report,
     span_breakdown,
+    top_spans,
+)
+from repro.obs.slo import (
+    SLOEngine,
+    SLOObjective,
+    SLOPolicy,
+    default_slo_policy,
+    registry_from_slo_snapshot,
 )
 from repro.obs.trace import (
     NO_TRACE,
@@ -47,14 +77,32 @@ __all__ = [
     "MetricsRegistry",
     "Reservoir",
     "add_stall_summary",
+    "escape_label_value",
+    "parse_prometheus_text",
     "registry_from_run",
     "registry_from_service_snapshot",
+    "unescape_label_value",
     "count_instants",
     "load_trace",
     "render_report",
     "span_breakdown",
+    "top_spans",
     "NO_TRACE",
     "SpanHandle",
     "TraceRecorder",
     "validate_chrome_trace",
+    "FLIGHT_SCHEMA",
+    "TRIGGER_KINDS",
+    "FlightMonitor",
+    "FlightPolicy",
+    "FlightRecorder",
+    "graph_identity",
+    "load_bundle",
+    "replay_bundle",
+    "write_bundle",
+    "SLOEngine",
+    "SLOObjective",
+    "SLOPolicy",
+    "default_slo_policy",
+    "registry_from_slo_snapshot",
 ]

@@ -25,6 +25,12 @@ Histograms sample via the same deterministic reservoir
 registry's memory is bounded under sustained load while ``count``,
 ``sum``/``mean``, and ``max`` stay exact.
 
+The registry is thread-safe: family registration takes a registry-level
+lock, child creation a per-family lock, and every counter/gauge/histogram
+update a per-child lock — the serving layer's worker thread and the
+caller's thread both touch the same families, and lost updates there
+would silently corrupt the SLO feed.
+
 This module imports nothing from the engine or serving layers (only the
 error hierarchy); the ``registry_from_*`` bridges at the bottom are
 duck-typed over plain snapshot dicts so ``repro.obs`` sits below every
@@ -34,6 +40,7 @@ other package in the import graph.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import ObservabilityError
@@ -111,49 +118,61 @@ class Reservoir:
 # Metric children
 # ----------------------------------------------------------------------
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.  ``inc`` is thread-safe."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ObservabilityError("counters can only increase")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A value that can go up and down (or simply be set)."""
+    """A value that can go up and down (or simply be set).  Thread-safe."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
-    """Reservoir-sampled distribution with exact count/sum/max."""
+    """Reservoir-sampled distribution with exact count/sum/max.
 
-    __slots__ = ("reservoir",)
+    ``observe`` is thread-safe: the reservoir mutates three aggregates
+    plus the sample list per add, and interleaved adds would tear them.
+    """
+
+    __slots__ = ("reservoir", "_lock")
 
     DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
 
     def __init__(self, max_samples: int = 4096, seed: int = 0x5EED) -> None:
         self.reservoir = Reservoir(max_samples=max_samples, seed=seed)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.reservoir.add(value)
+        with self._lock:
+            self.reservoir.add(value)
 
     def snapshot(self) -> Dict[str, float]:
         res = self.reservoir
@@ -169,6 +188,46 @@ class Histogram:
 
 
 _TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Inside a quoted label value, backslash, double-quote, and line feed
+    must be written as ``\\\\``, ``\\"``, and ``\\n``.  Anything else
+    passes through unchanged.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise ObservabilityError(
+                    f"invalid escape sequence \\{nxt} in label value"
+                )
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 class MetricFamily:
@@ -188,6 +247,7 @@ class MetricFamily:
         self.label_names = label_names
         self._child_kwargs = child_kwargs
         self._children: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
 
     def labels(self, **label_values: Any) -> Any:
         """The child for this label-value combination (created on demand)."""
@@ -197,10 +257,11 @@ class MetricFamily:
                 f"got {tuple(sorted(label_values))}"
             )
         key = tuple(str(label_values[n]) for n in self.label_names)
-        child = self._children.get(key)
-        if child is None:
-            child = _TYPES[self.metric_type](**self._child_kwargs)
-            self._children[key] = child
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = _TYPES[self.metric_type](**self._child_kwargs)
+                self._children[key] = child
         return child
 
     def _default_child(self) -> Any:
@@ -222,7 +283,8 @@ class MetricFamily:
         self._default_child().observe(value)
 
     def children(self) -> Iterable[Tuple[Tuple[str, ...], Any]]:
-        return sorted(self._children.items())
+        with self._lock:
+            return sorted(self._children.items())
 
 
 class MetricsRegistry:
@@ -231,6 +293,7 @@ class MetricsRegistry:
     def __init__(self, namespace: str = "repro") -> None:
         self.namespace = namespace
         self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _register(
@@ -241,23 +304,24 @@ class MetricsRegistry:
         labels: Tuple[str, ...],
         **child_kwargs: Any,
     ) -> MetricFamily:
-        existing = self._families.get(name)
-        if existing is not None:
-            if (
-                existing.metric_type != metric_type
-                or existing.label_names != labels
-            ):
-                raise ObservabilityError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.metric_type} with labels "
-                    f"{existing.label_names}; cannot re-register as "
-                    f"{metric_type} with labels {labels}"
-                )
-            return existing
-        family = MetricFamily(name, help_text, metric_type, labels,
-                              **child_kwargs)
-        self._families[name] = family
-        return family
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if (
+                    existing.metric_type != metric_type
+                    or existing.label_names != labels
+                ):
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.metric_type} with labels "
+                        f"{existing.label_names}; cannot re-register as "
+                        f"{metric_type} with labels {labels}"
+                    )
+                return existing
+            family = MetricFamily(name, help_text, metric_type, labels,
+                                  **child_kwargs)
+            self._families[name] = family
+            return family
 
     def counter(
         self, name: str, help_text: str = "", labels: Tuple[str, ...] = ()
@@ -283,7 +347,8 @@ class MetricsRegistry:
         )
 
     def families(self) -> List[MetricFamily]:
-        return [self._families[n] for n in sorted(self._families)]
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
 
     # ------------------------------------------------------------------
     # Export
@@ -316,7 +381,9 @@ class MetricsRegistry:
             pairs.append(extra)
         if not pairs:
             return ""
-        body = ",".join(f'{k}="{v}"' for k, v in pairs)
+        body = ",".join(
+            f'{k}="{escape_label_value(v)}"' for k, v in pairs
+        )
         return "{" + body + "}"
 
     def prometheus_text(self) -> str:
@@ -348,6 +415,154 @@ class MetricsRegistry:
                     label_str = self._label_str(labels)
                     lines.append(f"{full}{label_str} {child.value:g}")
         return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Text exposition parser (round-trip validation of prometheus_text)
+# ----------------------------------------------------------------------
+_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _parse_labels(body: str, line: str) -> Dict[str, str]:
+    """Parse the inside of a ``{...}`` label block, honouring escapes."""
+    labels: Dict[str, str] = {}
+    i = 0
+    n = len(body)
+    while i < n:
+        start = i
+        while i < n and body[i] not in "=":
+            if body[i] not in _NAME_CHARS:
+                raise ObservabilityError(
+                    f"bad label name in exposition line: {line!r}"
+                )
+            i += 1
+        name = body[start:i]
+        if not name or i >= n or body[i] != "=":
+            raise ObservabilityError(
+                f"malformed label pair in exposition line: {line!r}"
+            )
+        i += 1
+        if i >= n or body[i] != '"':
+            raise ObservabilityError(
+                f"label value must be quoted in exposition line: {line!r}"
+            )
+        i += 1
+        raw: List[str] = []
+        while i < n and body[i] != '"':
+            if body[i] == "\\":
+                if i + 1 >= n:
+                    raise ObservabilityError(
+                        f"dangling escape in exposition line: {line!r}"
+                    )
+                raw.append(body[i: i + 2])
+                i += 2
+            else:
+                raw.append(body[i])
+                i += 1
+        if i >= n:
+            raise ObservabilityError(
+                f"unterminated label value in exposition line: {line!r}"
+            )
+        i += 1  # closing quote
+        labels[name] = unescape_label_value("".join(raw))
+        if i < n:
+            if body[i] != ",":
+                raise ObservabilityError(
+                    f"expected ',' between labels in exposition line: "
+                    f"{line!r}"
+                )
+            i += 1
+    return labels
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse a Prometheus text exposition back into a nested dict.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [{"name": sample_name, "labels": {...}, "value": float}]}}``, where
+    ``sample_name`` keeps summary suffixes (``_sum``/``_count``) and
+    label values are unescaped.  Samples attach to the longest declared
+    family whose name prefixes theirs; undeclared samples raise — the
+    round-trip tests use this to prove :meth:`MetricsRegistry.\
+prometheus_text` emits only well-formed, declared series.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment
+            name = parts[2]
+            entry = families.setdefault(
+                name, {"type": None, "help": "", "samples": []}
+            )
+            if parts[1] == "HELP":
+                entry["help"] = parts[3] if len(parts) > 3 else ""
+            else:
+                if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "summary", "histogram", "untyped"
+                ):
+                    raise ObservabilityError(
+                        f"bad TYPE line in exposition: {line!r}"
+                    )
+                entry["type"] = parts[3]
+            continue
+        # Sample line: name[{labels}] value
+        i = 0
+        while i < len(line) and line[i] in _NAME_CHARS:
+            i += 1
+        sample_name = line[:i]
+        if not sample_name:
+            raise ObservabilityError(
+                f"bad sample name in exposition line: {line!r}"
+            )
+        rest = line[i:]
+        labels: Dict[str, str] = {}
+        if rest.startswith("{"):
+            close = -1
+            j = 1
+            while j < len(rest):
+                if rest[j] == "\\":
+                    j += 2
+                    continue
+                if rest[j] == "}":
+                    close = j
+                    break
+                j += 1
+            if close < 0:
+                raise ObservabilityError(
+                    f"unterminated label block in exposition line: {line!r}"
+                )
+            labels = _parse_labels(rest[1:close], line)
+            rest = rest[close + 1:]
+        value_str = rest.strip().split()[0] if rest.strip() else ""
+        try:
+            value = float(value_str)
+        except ValueError:
+            raise ObservabilityError(
+                f"bad sample value in exposition line: {line!r}"
+            ) from None
+        candidates = [sample_name]
+        for suffix in ("_sum", "_count"):
+            if sample_name.endswith(suffix):
+                candidates.append(sample_name[: -len(suffix)])
+        family = None
+        for candidate in candidates:
+            if candidate in families:
+                family = families[candidate]
+                break
+        if family is None:
+            raise ObservabilityError(
+                f"sample {sample_name!r} has no HELP/TYPE declaration"
+            )
+        family["samples"].append(
+            {"name": sample_name, "labels": labels, "value": value}
+        )
+    return families
 
 
 # ----------------------------------------------------------------------

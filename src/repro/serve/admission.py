@@ -39,8 +39,9 @@ rounds pay the hedge.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Deque, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.obs.registry import Reservoir
@@ -214,6 +215,9 @@ class AdmissionController:
         # EWMA simulated ms of device time per completed round-request in a
         # batch — the backlog-drain currency all retry hints price in.
         self._ewma_request_ms = 0.0
+        # Recent admission outcomes (sim_ms, shed) — the flight monitor's
+        # shed-spike trigger reads the windowed rate from here.
+        self._outcomes: Deque[Tuple[float, bool]] = deque()
 
     # ------------------------------------------------------------------
     @property
@@ -288,6 +292,33 @@ class AdmissionController:
                 hint = max(floor, predicted_wait - deadline_ms)
                 return ShedDecision("deadline", hint, tenant)
         return None
+
+    # ------------------------------------------------------------------
+    def note_outcome(self, now_ms: float, shed: bool) -> None:
+        """Record one admission outcome for windowed shed-rate queries.
+
+        Kept separate from :meth:`decide` so the service records exactly
+        the outcomes it acted on (a decision it overrides — e.g. a closed
+        service — never lands in the window).
+        """
+        self._outcomes.append((float(now_ms), bool(shed)))
+        # Bound memory: nothing ever asks about outcomes older than a few
+        # windows; 4096 covers any realistic window at bench rates.
+        while len(self._outcomes) > 4096:
+            self._outcomes.popleft()
+
+    def recent_shed_rate(
+        self, now_ms: float, window_ms: float
+    ) -> Tuple[float, int]:
+        """(shed fraction, outcome count) over the trailing window."""
+        start = now_ms - window_ms
+        n = shed = 0
+        for t, was_shed in self._outcomes:
+            if start < t <= now_ms:
+                n += 1
+                if was_shed:
+                    shed += 1
+        return (shed / n if n else 0.0), n
 
     def snapshot(self) -> Dict[str, object]:
         """Bucket fill levels + the EWMA (debug/bench surface)."""

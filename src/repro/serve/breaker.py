@@ -153,4 +153,7 @@ class CircuitBreaker:
             "n_trips": self.n_trips,
             "n_probes": self.n_probes,
             "n_recoveries": self.n_recoveries,
+            # Simulated instant of the most recent trip (None before the
+            # first) — flight postmortem bundles anchor on it.
+            "opened_at_ms": self._opened_at_ms,
         }

@@ -37,6 +37,7 @@ from typing import Deque, Dict, List, Optional, Sequence
 from repro.core.config import EngineConfig
 from repro.core.engine import GSWORDEngine, RetryPolicy
 from repro.errors import (
+    KernelTimeout,
     Overloaded,
     RequestCancelled,
     ServiceClosed,
@@ -50,7 +51,17 @@ from repro.faults import FaultInjector, FaultPlan, maybe_injector
 from repro.gpu.costmodel import DEFAULT_GPU, GPUSpec
 from repro.gpu.device import DeviceModel
 from repro.gpu.profiler import KernelProfile
+from repro.obs.flight import (
+    FlightMonitor,
+    FlightPolicy,
+    FlightRecorder,
+    graph_identity,
+    serialize_plan,
+    serialize_round,
+    write_bundle,
+)
 from repro.obs.registry import MetricsRegistry, registry_from_service_snapshot
+from repro.obs.slo import SLOEngine, SLOPolicy, registry_from_slo_snapshot
 from repro.obs.trace import NO_TRACE, TraceRecorder
 from repro.serve.admission import (
     AdmissionController,
@@ -126,6 +137,17 @@ class ServiceConfig:
             cannot finish in time aborts (and degrades) instead of burning
             device time past the deadline.  Off by default: it changes
             when deadline-bound requests degrade, so it is opt-in.
+        flight: always-on flight recording (:mod:`repro.obs.flight`): a
+            bounded ring of recent spans/instants plus the trigger
+            monitor that snapshots postmortem bundles on breaker trips,
+            watchdog kills, shed spikes, q-error drift, and hedge storms.
+            On by default — the ring caps memory and the per-event cost
+            lives inside the existing <2% tracing budget.  ``None``
+            disables it (full ``trace`` mode also supersedes the ring:
+            triggers still fire, with unbounded history behind them).
+        slo: declarative SLOs with multi-window burn-rate alerting
+            (:mod:`repro.obs.slo`), fed from admission decisions and
+            completions on the simulated clock; ``None`` disables.
     """
 
     spec: GPUSpec = DEFAULT_GPU
@@ -147,6 +169,8 @@ class ServiceConfig:
     admission: Optional[AdmissionPolicy] = None
     hedge: Optional[HedgePolicy] = None
     propagate_deadline: bool = False
+    flight: Optional[FlightPolicy] = field(default_factory=FlightPolicy)
+    slo: Optional[SLOPolicy] = None
 
 
 class Ticket:
@@ -269,11 +293,35 @@ class EstimationService:
             watchdog_ms=config.watchdog_ms,
         )
         self.injector: Optional[FaultInjector] = maybe_injector(config.faults)
-        self.recorder: TraceRecorder = (
-            TraceRecorder(process_name="repro.serve")
-            if (config.trace or config.engine_config.trace)
-            else NO_TRACE
+        # Recorder ladder: full tracing wins (unbounded history), else the
+        # always-on flight ring, else the zero-cost disabled singleton.
+        if config.trace or config.engine_config.trace:
+            self.recorder: TraceRecorder = TraceRecorder(
+                process_name="repro.serve"
+            )
+        elif config.flight is not None:
+            self.recorder = FlightRecorder(
+                capacity=config.flight.capacity,
+                process_name="repro.serve",
+            )
+        else:
+            self.recorder = NO_TRACE
+        self.flight: Optional[FlightMonitor] = (
+            FlightMonitor(config.flight, self.recorder)
+            if config.flight is not None
+            else None
         )
+        self.slo: Optional[SLOEngine] = (
+            SLOEngine(config.slo) if config.slo is not None else None
+        )
+        # Context of the most recent executed launch (graph identity, plan,
+        # captured round) — what a triggered postmortem bundle replays.
+        # Kept as live object references; serialization happens only when
+        # a trigger actually fires (the healthy path must stay cheap).
+        self._launch_context: Optional[Dict[str, object]] = None
+        # Fallback graph identity for bundles triggered before any launch
+        # completes (set via note_graph_identity, e.g. by repro.dyn).
+        self._graph_hint: Optional[str] = None
         # Cumulative device-side kernel counters across all rounds (the
         # serve-layer view of the Figure-5 stall summary) and the total
         # multi-device round time, for the unified metrics namespace.
@@ -361,6 +409,8 @@ class EstimationService:
                                 "queue_depth": self._live_depth_locked(),
                             },
                         )
+                    self._admission.note_outcome(self._clock_ms, shed=True)
+                    self._note_shed_signals(decision.reason)
                     raise Overloaded(
                         f"request shed ({decision.reason}); retry after "
                         f"{decision.retry_after_ms:.3f} simulated ms",
@@ -368,6 +418,10 @@ class EstimationService:
                         retry_after_ms=decision.retry_after_ms,
                         tenant=decision.tenant,
                     )
+                self._admission.note_outcome(self._clock_ms, shed=False)
+                if self.slo is not None:
+                    self.slo.record("shed_rate", self._clock_ms, good=True)
+                    self._slo_evaluate(self._clock_ms)
             request_id = request.request_id or f"req-{next(self._ids)}"
             ticket = Ticket(request_id, service=self)
             pending = _Pending(
@@ -407,6 +461,11 @@ class EstimationService:
         with self._wakeup:
             if now_ms > self._clock_ms:
                 self._clock_ms = now_ms
+                if self.slo is not None:
+                    # Idle time counts against burn windows: an alert can
+                    # clear because the window emptied, not only because
+                    # good events arrived.
+                    self._slo_evaluate(now_ms)
                 self._wakeup.notify()
 
     def estimate(self, request: EstimateRequest) -> EstimateResponse:
@@ -482,12 +541,173 @@ class EstimationService:
         # the Figure-5 stall summary and the cumulative multi-device time.
         snap["stall"] = self._kernel_profile.stall_summary()
         snap["multidev_ms"] = self._multidev_ms
+        if self.flight is not None:
+            snap["flight"] = self.flight.snapshot()
+        if self.slo is not None:
+            snap["slo"] = self.slo.snapshot(self._clock_ms)
         return snap
 
     def registry(self) -> MetricsRegistry:
         """The unified :class:`~repro.obs.registry.MetricsRegistry` view of
-        :meth:`metrics_snapshot` (JSON snapshot + Prometheus exposition)."""
-        return registry_from_service_snapshot(self.metrics_snapshot())
+        :meth:`metrics_snapshot` (JSON snapshot + Prometheus exposition),
+        including the ``slo_burn_rate`` family when SLOs are configured."""
+        reg = registry_from_service_snapshot(self.metrics_snapshot())
+        if self.slo is not None:
+            registry_from_slo_snapshot(
+                self.slo.snapshot(self._clock_ms), registry=reg
+            )
+        return reg
+
+    # ------------------------------------------------------------------
+    # Flight recording & SLOs (repro.obs.flight / repro.obs.slo)
+    # ------------------------------------------------------------------
+    def note_graph_identity(
+        self,
+        graph: object,
+        graph_id: Optional[str] = None,
+        graph_version: Optional[int] = None,
+    ) -> str:
+        """Record the versioned graph identity for postmortem bundles.
+
+        Used by layers that know the graph before any round has run (the
+        dynamic-graph serving facade calls it on install and per estimate)
+        so even a bundle triggered pre-launch names its graph.  Returns
+        the canonical ``name@v<version>#<fp>`` string."""
+        ident = graph_identity(
+            graph, graph_id=graph_id, graph_version=graph_version
+        )
+        with self._lock:
+            self._graph_hint = ident
+        return ident
+
+    def report_q_error(
+        self, estimate: float, reference: float
+    ) -> Optional[Dict[str, object]]:
+        """Feed an external accuracy check (bench/canary) into the SLO
+        and flight layers.
+
+        ``reference`` is a trusted count (exact enumeration or a
+        high-sample baseline).  Records a ``q_error`` SLO event and — when
+        the q-error crosses the flight policy bound — fires the
+        ``qerror_drift`` trigger, returning its bundle (else ``None``)."""
+        with self._lock:
+            now = self._clock_ms
+            threshold = (
+                self.flight.policy.qerror_threshold
+                if self.flight is not None
+                else 2.0
+            )
+            if reference <= 0 or estimate <= 0:
+                q = float("inf")
+            else:
+                q = max(estimate / reference, reference / estimate)
+            if self.slo is not None:
+                self.slo.record("q_error", now, good=q < threshold)
+                self._slo_evaluate(now)
+            if self.flight is not None:
+                return self.flight.check_q_error(
+                    now, estimate, reference, self._flight_context
+                )
+            return None
+
+    def flight_bundles(self) -> List[Dict[str, object]]:
+        """The retained postmortem bundles, oldest first (thread-safe)."""
+        with self._lock:
+            return list(self.flight.bundles) if self.flight else []
+
+    def write_flight_bundle(
+        self, path: str, index: int = -1
+    ) -> Dict[str, object]:
+        """Write one retained bundle (default: the newest) to ``path``.
+
+        Raises :class:`~repro.errors.ServiceError` when flight recording
+        is disabled or nothing has triggered yet."""
+        with self._lock:
+            if self.flight is None or not self.flight.bundles:
+                raise ServiceError(
+                    "no flight bundles captured (flight recording disabled "
+                    "or no trigger has fired)"
+                )
+            bundle = self.flight.bundles[index]
+        write_bundle(bundle, path)
+        return bundle
+
+    def _flight_context(self) -> Dict[str, object]:
+        """The trigger-time context a bundle snapshots.  Called lazily by
+        :class:`FlightMonitor` only when a trigger fires, so the full
+        metrics/plan/round serialization never touches the healthy path."""
+        ctx: Dict[str, object] = {
+            "engine_config": self.engine_config,
+            "gpu_spec": self.config.spec,
+            "metrics": self.metrics_snapshot(),
+        }
+        if self.injector is not None:
+            ctx["faults"] = self.injector.describe()
+        lc = self._launch_context
+        if lc is not None:
+            ctx["graph_identity"] = graph_identity(
+                lc["graph"],
+                graph_id=lc["graph_id"],
+                graph_version=lc["graph_version"],
+            )
+            ctx["plan"] = serialize_plan(
+                lc["graph"],
+                lc["query"],
+                lc["order"],
+                lc["estimator"],
+                self.config.order_method,
+            )
+            ctx["round"] = serialize_round(
+                lc["launch"],
+                self.engine_config.tasks_per_warp,
+                self.engine_config.rng_mode,
+            )
+        elif self._graph_hint is not None:
+            ctx["graph_identity"] = self._graph_hint
+        return ctx
+
+    def _update_launch_context(self, pending: _Pending) -> None:
+        """Stash references to the most recent captured launch (cheap —
+        no serialization; see :meth:`_flight_context`)."""
+        session = pending.session
+        launch = getattr(session, "last_launch", None)
+        if launch is None:
+            return
+        request = pending.request
+        self._launch_context = {
+            "graph": request.graph,
+            "query": request.query,
+            "order": session.order,
+            "estimator": estimator_name(request.estimator),
+            "graph_id": request.graph_id,
+            "graph_version": pending.graph_version,
+            "launch": dict(launch),
+        }
+
+    def _note_shed_signals(self, reason: str) -> None:
+        """SLO + flight bookkeeping for one shed decision (lock held)."""
+        now = self._clock_ms
+        if self.slo is not None:
+            self.slo.record("shed_rate", now, good=False)
+            self._slo_evaluate(now)
+        if self.flight is not None and self._admission is not None:
+            rate, n = self._admission.recent_shed_rate(
+                now, self.flight.policy.shed_window_ms
+            )
+            self.flight.check_shed(
+                now, rate, n, self._flight_context,
+                details={"reason": reason},
+            )
+
+    def _slo_evaluate(self, now_ms: float) -> None:
+        """Advance SLO alert state; annotate transitions on the trace."""
+        assert self.slo is not None
+        for transition in self.slo.evaluate(now_ms):
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "slo.alert", track="serve", sim_ms=now_ms,
+                    args=dict(transition),
+                )
 
     # ------------------------------------------------------------------
     # Dynamic-graph hooks (repro.dyn serving integration)
@@ -622,6 +842,15 @@ class EstimationService:
                 )
             if self._admission is not None:
                 self._admission.observe_batch(len(batch), result.batch_ms)
+            if self.flight is not None and self._hedge_tracker is not None:
+                # Every round feeds the hedge-storm window (hedged or not)
+                # so the rate reflects the true hedged fraction.
+                self.flight.check_hedges(
+                    self._clock_ms,
+                    sum(1 for r in result.round_results if r is not None),
+                    result.n_hedges,
+                    self._flight_context,
+                )
             if self._hedge_tracker is not None:
                 for r in result.round_results:
                     if r is not None:
@@ -911,12 +1140,16 @@ class EstimationService:
         pending.controller.observe(
             cumulative.accumulator, round_samples, batch_ms
         )
+        self._update_launch_context(pending)
         self._enqueue_next_round(pending)
 
     def _on_round_failure(self, pending: _Pending, error: BaseException) -> None:
         """A round died after its retry budget: update the estimator's
         breaker, then degrade (CPU fallback) or fail the ticket."""
         self.metrics.record_round_failure()
+        # A watchdog kill is captured in the session just before the
+        # verdict, so the bundle carries the offending launch itself.
+        self._update_launch_context(pending)
         breaker = self._breaker_for_name(
             estimator_name(pending.request.estimator)
         )
@@ -930,6 +1163,31 @@ class EstimationService:
                         "error": type(error).__name__,
                     },
                 )
+            if self.flight is not None:
+                self.flight.consider(
+                    "breaker_open", self._clock_ms,
+                    {
+                        "estimator": estimator_name(
+                            pending.request.estimator
+                        ),
+                        "error": type(error).__name__,
+                        "consecutive_failures": (
+                            breaker.consecutive_failures
+                        ),
+                    },
+                    self._flight_context,
+                )
+        if self.flight is not None and isinstance(error, KernelTimeout):
+            self.flight.consider(
+                "kernel_timeout", self._clock_ms,
+                {
+                    "error": str(error),
+                    "kernel_ms": getattr(error, "kernel_ms", None),
+                    "watchdog_ms": getattr(error, "watchdog_ms", None),
+                    "request_id": pending.ticket.request_id,
+                },
+                self._flight_context,
+            )
         self._degrade_or_fail(pending, error)
 
     def _degrade_or_fail(self, pending: _Pending, error: BaseException) -> None:
@@ -1034,6 +1292,17 @@ class EstimationService:
             n_valid=n_valid,
             degraded=response.degraded,
         )
+        if self.slo is not None:
+            objective = self.slo.objective("admitted_latency")
+            if objective is not None and objective.threshold_ms is not None:
+                self.slo.record(
+                    "admitted_latency", self._clock_ms,
+                    good=latency <= objective.threshold_ms,
+                )
+            self.slo.record(
+                "degraded", self._clock_ms, good=not response.degraded
+            )
+            self._slo_evaluate(self._clock_ms)
         if self.recorder.enabled:
             self.recorder.instant(
                 "request.done", track="serve", sim_ms=self._clock_ms,

@@ -1,0 +1,308 @@
+"""Tests for repro.obs.registry hardening: thread-safety under
+concurrent updates, Prometheus label-value escaping round-trips, and
+parser-level validation of the ``registry_from_*`` bridge expositions
+(exact family names and label sets)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import GSWORDEngine
+from repro.candidate.candidate_graph import build_candidate_graph
+from repro.errors import ObservabilityError
+from repro.estimators.alley import AlleyEstimator
+from repro.graph.datasets import load_dataset
+from repro.obs.registry import (
+    MetricsRegistry,
+    escape_label_value,
+    parse_prometheus_text,
+    registry_from_run,
+    registry_from_service_snapshot,
+    unescape_label_value,
+)
+from repro.obs.slo import default_slo_policy
+from repro.query.extract import extract_query
+from repro.query.matching_order import quicksi_order
+from repro.serve import EstimateRequest, EstimationService, ServiceConfig
+from repro.serve.controller import BudgetPolicy
+
+
+def _hammer(n_threads, fn):
+    """Run ``fn(thread_index)`` on ``n_threads`` threads from a barrier."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def body(i):
+        barrier.wait()
+        try:
+            fn(i)
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=body, args=(i,))
+               for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+class TestThreadSafety:
+    N_THREADS = 8
+    N_OPS = 2000
+
+    def test_counter_increments_are_not_lost(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("ops_total", labels=("kind",))
+
+        def work(i):
+            # Everyone hammers one shared child plus a private one.
+            for _ in range(self.N_OPS):
+                counter.labels(kind="shared").inc()
+                counter.labels(kind=f"t{i}").inc()
+
+        _hammer(self.N_THREADS, work)
+        series = {e["labels"]["kind"]: e["value"]
+                  for e in reg.snapshot()["ops_total"]["series"]}
+        assert series["shared"] == self.N_THREADS * self.N_OPS
+        for i in range(self.N_THREADS):
+            assert series[f"t{i}"] == self.N_OPS
+
+    def test_histogram_aggregates_stay_exact(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency", max_samples=256)
+
+        def work(i):
+            for _ in range(self.N_OPS):
+                hist.observe(1.0)
+
+        _hammer(self.N_THREADS, work)
+        snap = reg.snapshot()["latency"]["series"][0]
+        assert snap["count"] == self.N_THREADS * self.N_OPS
+        assert snap["mean"] == 1.0 and snap["max"] == 1.0
+
+    def test_concurrent_child_creation_yields_one_child(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth", labels=("queue",))
+
+        def work(i):
+            gauge.labels(queue="main").set(float(i))
+
+        _hammer(self.N_THREADS, work)
+        family = reg.families()[0]
+        assert len(list(family.children())) == 1
+
+    def test_concurrent_registration_returns_one_family(self):
+        reg = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def work(i):
+            family = reg.counter("shared_total", labels=("k",))
+            with lock:
+                seen.append(family)
+
+        _hammer(self.N_THREADS, work)
+        assert len(reg.families()) == 1
+        assert all(f is seen[0] for f in seen)
+
+
+NASTY_VALUES = [
+    'back\\slash',
+    'say "hi"',
+    'line\nbreak',
+    'all\\three: "q"\nnewline',
+    "",
+    "plain",
+]
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize("value", NASTY_VALUES)
+    def test_escape_round_trip(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    def test_escaped_text_is_single_line(self):
+        assert "\n" not in escape_label_value("a\nb")
+
+    def test_unescape_rejects_invalid_sequence(self):
+        with pytest.raises(ObservabilityError):
+            unescape_label_value("\\t")
+
+    def test_exposition_round_trip_through_parser(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("paths", "Path gauge", labels=("path",))
+        for i, value in enumerate(NASTY_VALUES):
+            gauge.labels(path=value).set(float(i))
+        text = reg.prometheus_text()
+        # A raw newline inside a label value would split a sample line in
+        # two and corrupt the exposition.
+        samples = [ln for ln in text.splitlines() if not ln.startswith("#")]
+        assert len(samples) == len(NASTY_VALUES)
+        parsed = parse_prometheus_text(text)
+        recovered = {s["labels"]["path"]: s["value"]
+                     for s in parsed["repro_paths"]["samples"]}
+        assert recovered == {v: float(i)
+                             for i, v in enumerate(NASTY_VALUES)}
+
+
+class TestExpositionParser:
+    def test_rejects_undeclared_sample(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_text("mystery_total 1\n")
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_text("# TYPE x widget\nx 1\n")
+
+    def test_rejects_unterminated_labels(self):
+        text = '# TYPE x gauge\nx{a="b" 1\n'
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_text(text)
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_text("# TYPE x gauge\nx notanumber\n")
+
+    def test_rejects_dangling_escape(self):
+        text = '# TYPE x gauge\nx{a="b\\"} 1\n'
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_text(text)
+
+    def test_summary_suffixes_attach_to_family(self):
+        text = (
+            "# TYPE lat summary\n"
+            'lat{quantile="0.5"} 2\n'
+            "lat_sum 10\nlat_count 5\n"
+        )
+        parsed = parse_prometheus_text(text)
+        names = {s["name"] for s in parsed["lat"]["samples"]}
+        assert names == {"lat", "lat_sum", "lat_count"}
+
+
+@pytest.fixture(scope="module")
+def served_registry():
+    """A registry bridged from a real (small) service run with SLOs on."""
+    graph = load_dataset("yeast")
+    query = extract_query(graph, 4, rng=8)
+    service = EstimationService(ServiceConfig(
+        slo=default_slo_policy(),
+        policy=BudgetPolicy(min_round_samples=128, max_round_samples=1024),
+    ))
+    for _ in range(4):
+        service.estimate(
+            EstimateRequest(graph=graph, query=query, max_samples=1024)
+        )
+    return service.registry()
+
+
+class TestServiceBridgeNames:
+    EXPECTED_LABELS = {
+        "requests_total": ("state",),
+        "rounds_by_backend_total": ("backend",),
+        "rounds_by_shard_count_total": ("shards",),
+        "samples_total": ("kind",),
+        "latency_ms": ("stat",),
+        "queue_wait_ms": ("stat",),
+        "resilience_events_total": ("event",),
+        "plan_cache": ("stat",),
+        "slo_burn_rate": ("slo", "window"),
+        "slo_alert_active": ("slo",),
+        "slo_alerts_total": ("slo", "state"),
+    }
+
+    def test_exact_family_names_and_labels(self, served_registry):
+        by_name = {f.name: f for f in served_registry.families()}
+        expected_names = {
+            "requests_total", "batches_total", "rounds_total",
+            "rounds_by_backend_total", "rounds_by_shard_count_total",
+            "samples_total", "device_busy_ms", "samples_per_second",
+            "mean_batch_size", "max_queue_depth", "service_clock_ms",
+            "latency_ms", "queue_wait_ms", "resilience_events_total",
+            "queue_depth", "plan_cache", "plan_cache_events_total",
+            "slo_burn_rate", "slo_alert_active", "slo_alerts_total",
+        }
+        assert expected_names <= set(by_name)
+        for name, labels in self.EXPECTED_LABELS.items():
+            assert by_name[name].label_names == labels, name
+
+    def test_exposition_parses_and_is_fully_declared(self, served_registry):
+        text = served_registry.prometheus_text()
+        parsed = parse_prometheus_text(text)  # undeclared samples raise
+        assert all(name.startswith("repro_") for name in parsed)
+        assert all(entry["type"] is not None for entry in parsed.values())
+        states = {s["labels"]["state"]: s["value"]
+                  for s in parsed["repro_requests_total"]["samples"]}
+        assert states["submitted"] == 4.0 and states["completed"] == 4.0
+        burn_labels = {
+            (s["labels"]["slo"], s["labels"]["window"])
+            for s in parsed["repro_slo_burn_rate"]["samples"]
+        }
+        assert ("admitted_latency", "short") in burn_labels
+        assert ("q_error", "long") in burn_labels
+        # Histogram-style families expose summary quantiles + _sum/_count.
+        latency_names = {s["name"]
+                         for s in parsed["repro_latency_ms"]["samples"]}
+        assert "repro_latency_ms" in latency_names
+        # The snapshot form is JSON-safe end to end.
+        json.dumps(served_registry.snapshot())
+
+
+class TestRunBridgeNames:
+    def test_exact_names_and_exposition(self):
+        graph = load_dataset("yeast")
+        query = extract_query(graph, 4, rng=8)
+        cg = build_candidate_graph(graph, query)
+        order = quicksi_order(query, graph)
+        result = GSWORDEngine(AlleyEstimator(), EngineConfig()).run(
+            cg, order, 256, rng=5
+        )
+        reg = registry_from_run(result)
+        names = {f.name for f in reg.families()}
+        assert {"estimate", "samples_total", "simulated_ms",
+                "kernel_cycles", "kernel_stall"} <= names
+        by_name = {f.name: f for f in reg.families()}
+        assert by_name["kernel_cycles"].label_names == ("category",)
+        assert by_name["kernel_stall"].label_names == ("metric",)
+        assert by_name["samples_total"].label_names == ("kind",)
+        parsed = parse_prometheus_text(reg.prometheus_text())
+        assert parsed["repro_estimate"]["samples"][0]["value"] == float(
+            result.estimate
+        )
+        kinds = {s["labels"]["kind"]
+                 for s in parsed["repro_samples_total"]["samples"]}
+        assert kinds == {"drawn", "valid"}
+
+    def test_snapshot_bridge_declares_everything(self):
+        # The hand-written minimal snapshot from test_obs plus the newer
+        # sections (hedging, shed, cancellations) all parse cleanly.
+        snap = {
+            "n_submitted": 2, "n_completed": 2, "n_degraded": 0,
+            "n_failed": 0, "n_batches": 1, "n_rounds": 2,
+            "total_samples": 256, "total_valid": 200,
+            "busy_ms": 1.0, "samples_per_second": 1000.0,
+            "mean_batch_size": 2.0, "max_queue_depth": 2, "clock_ms": 3.0,
+            "admission": {
+                "shed_by_reason": {"queue_full": 3},
+                "n_cancelled": 1,
+                "retry_after_ms": {"count": 3, "mean": 0.5, "p50": 0.5,
+                                   "p95": 0.9, "p99": 0.9, "max": 1.0},
+            },
+            "hedging": {"n_hedges": 2, "n_hedge_wins": 1,
+                        "hedge_wasted_ms": 0.25},
+        }
+        reg = registry_from_service_snapshot(snap)
+        names = {f.name for f in reg.families()}
+        assert {"admission_shed_total", "requests_cancelled_total",
+                "retry_after_ms", "hedge_events_total",
+                "hedge_wasted_ms"} <= names
+        parsed = parse_prometheus_text(reg.prometheus_text())
+        shed = parsed["repro_admission_shed_total"]["samples"]
+        assert shed[0]["labels"] == {"reason": "queue_full"}
+        assert shed[0]["value"] == 3.0
+        events = {s["labels"]["event"]: s["value"]
+                  for s in parsed["repro_hedge_events_total"]["samples"]}
+        assert events == {"fired": 2.0, "won": 1.0}
